@@ -1,0 +1,91 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro --experiment all            # everything, quick scale
+//! repro --experiment fig6c --full   # one figure at EXPERIMENTS.md scale
+//! repro --list
+//! ```
+
+use simrank_bench::experiments as exp;
+use simrank_bench::Scale;
+use simrank_datasets::DEFAULT_SEED;
+
+const EXPERIMENTS: [&str; 9] =
+    ["fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6g", "fig6h"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = String::from("all");
+    let mut scale = Scale::Quick;
+    let mut seed = DEFAULT_SEED;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--experiment" | "-e" => {
+                i += 1;
+                experiment = args.get(i).cloned().unwrap_or_else(|| usage("missing experiment"));
+            }
+            "--full" => scale = Scale::Full,
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("bad seed"));
+            }
+            "--list" => {
+                for e in EXPERIMENTS {
+                    println!("{e}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                usage("");
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let selected: Vec<&str> = if experiment == "all" {
+        EXPERIMENTS.to_vec()
+    } else if EXPERIMENTS.contains(&experiment.as_str()) {
+        vec![experiment.as_str()]
+    } else {
+        usage(&format!("unknown experiment {experiment}"))
+    };
+
+    println!(
+        "# SimRank OIP reproduction — scale {:?}, seed {seed}\n",
+        scale
+    );
+    for name in selected {
+        let start = std::time::Instant::now();
+        let output = match name {
+            "fig5" => exp::fig5::render(&exp::fig5::run(scale, seed)),
+            "fig6a" => exp::fig6a::render(&exp::fig6a::run(scale, seed)),
+            "fig6b" => exp::fig6b::render(&exp::fig6b::run(scale, seed)),
+            "fig6c" => exp::fig6c::render(&exp::fig6c::run(scale, seed)),
+            "fig6d" => exp::fig6d::render(&exp::fig6d::run(scale, seed)),
+            "fig6e" => exp::fig6e::render(&exp::fig6e::run(scale, seed)),
+            "fig6f" => exp::fig6f::render(&exp::fig6f::run(scale, seed)),
+            "fig6g" => exp::fig6g::render(&exp::fig6g::run(scale, seed)),
+            "fig6h" => exp::fig6h::render(&exp::fig6h::run(scale, seed)),
+            _ => unreachable!("validated above"),
+        };
+        println!("{output}");
+        println!("[{name} took {:.1?}]\n", start.elapsed());
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [--experiment <name>|all] [--full] [--seed N] [--list]\n\
+         experiments: {}",
+        EXPERIMENTS.join(", ")
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,11 @@
+//! One module per paper table/figure.
+
+pub mod fig5;
+pub mod fig6a;
+pub mod fig6b;
+pub mod fig6c;
+pub mod fig6d;
+pub mod fig6e;
+pub mod fig6f;
+pub mod fig6g;
+pub mod fig6h;

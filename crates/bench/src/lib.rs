@@ -1,0 +1,32 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§V).
+//!
+//! Each experiment module produces a structured result plus a
+//! paper-style text rendering; the `repro` binary drives them:
+//!
+//! ```text
+//! repro --experiment fig6a [--full] [--seed N]
+//! repro --experiment all
+//! ```
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`experiments::fig5`] | Fig. 5 — dataset details table |
+//! | [`experiments::fig6a`] | Fig. 6a — time efficiency on real datasets |
+//! | [`experiments::fig6b`] | Fig. 6b — amortized time (Build MST / Share Sums) |
+//! | [`experiments::fig6c`] | Fig. 6c — effect of density, with share ratios |
+//! | [`experiments::fig6d`] | Fig. 6d — memory space |
+//! | [`experiments::fig6e`] | Fig. 6e — convergence rate (iterations vs ε) |
+//! | [`experiments::fig6f`] | Fig. 6f — Lambert-W / Log bounds on K table |
+//! | [`experiments::fig6g`] | Fig. 6g — relative order (NDCG) |
+//! | [`experiments::fig6h`] | Fig. 6h — top-30 co-author list comparison |
+//!
+//! Absolute milliseconds will not match a 2013 Visual C++ testbed; the
+//! *shapes* (who wins, by what factor, where crossovers fall) are the
+//! reproduction targets, recorded in EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod scale;
+pub mod table;
+
+pub use scale::Scale;

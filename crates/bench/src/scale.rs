@@ -1,0 +1,105 @@
+//! Experiment sizing.
+
+/// How large to make the simulated datasets.
+///
+/// `Quick` keeps the full `repro --experiment all` run to a couple of
+/// minutes; `Full` uses the largest sizes at which all-pairs SimRank (an
+/// `O(n²)`-memory computation) stays laptop-friendly, and is what
+/// EXPERIMENTS.md records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small, seconds-per-experiment sizes.
+    Quick,
+    /// The EXPERIMENTS.md sizes.
+    Full,
+}
+
+impl Scale {
+    /// BERKSTAN-sim vertex count.
+    pub fn berkstan_nodes(self) -> usize {
+        match self {
+            Scale::Quick => 685_230 / 512,  // ≈ 1.3K
+            Scale::Full => 685_230 / 256,   // ≈ 2.7K
+        }
+    }
+
+    /// PATENT-sim vertex count.
+    pub fn patent_nodes(self) -> usize {
+        match self {
+            Scale::Quick => 3_774_768 / 2048, // ≈ 1.8K
+            Scale::Full => 3_774_768 / 1024,  // ≈ 3.7K
+        }
+    }
+
+    /// DBLP scale divisor (real snapshot sizes divided by this).
+    pub fn dblp_scale_div(self) -> usize {
+        match self {
+            Scale::Quick => 24,
+            Scale::Full => 12,
+        }
+    }
+
+    /// SYN vertex count for the density sweep.
+    pub fn syn_nodes(self) -> usize {
+        match self {
+            Scale::Quick => 600,
+            Scale::Full => 1_000,
+        }
+    }
+
+    /// Iteration sweep for the BERKSTAN panel of Fig. 6a.
+    pub fn berkstan_k_sweep(self) -> Vec<u32> {
+        match self {
+            Scale::Quick => vec![5, 10, 15],
+            Scale::Full => vec![5, 10, 15, 20, 25],
+        }
+    }
+
+    /// Iteration sweep for the PATENT panel of Fig. 6a.
+    pub fn patent_k_sweep(self) -> Vec<u32> {
+        match self {
+            Scale::Quick => vec![5, 10],
+            Scale::Full => vec![5, 10, 15, 20],
+        }
+    }
+
+    /// Density sweep for Fig. 6c.
+    pub fn density_sweep(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![10, 20, 30],
+            Scale::Full => vec![10, 20, 30, 40, 50],
+        }
+    }
+
+    /// Convergence-experiment graph size (DBLP-d11-like).
+    pub fn convergence_nodes(self) -> usize {
+        match self {
+            Scale::Quick => 500,
+            Scale::Full => 900,
+        }
+    }
+
+    /// Accuracy sweep for Fig. 6e/6f.
+    pub fn epsilon_sweep(self) -> Vec<f64> {
+        vec![1e-2, 1e-3, 1e-4, 1e-5, 1e-6]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_everywhere() {
+        assert!(Scale::Quick.berkstan_nodes() < Scale::Full.berkstan_nodes());
+        assert!(Scale::Quick.patent_nodes() < Scale::Full.patent_nodes());
+        assert!(Scale::Quick.dblp_scale_div() > Scale::Full.dblp_scale_div());
+        assert!(Scale::Quick.syn_nodes() <= Scale::Full.syn_nodes());
+        assert!(Scale::Quick.density_sweep().len() <= Scale::Full.density_sweep().len());
+    }
+
+    #[test]
+    fn epsilon_sweep_matches_fig6f() {
+        assert_eq!(Scale::Full.epsilon_sweep(), vec![1e-2, 1e-3, 1e-4, 1e-5, 1e-6]);
+    }
+}

@@ -1,0 +1,449 @@
+//! The shared OIP iteration engine.
+//!
+//! Both `OIP-SR` (conventional SimRank, paper Algorithm 1) and `OIP-DSR`
+//! (differential SimRank, Eq. 15 in component form) run the same two-level
+//! partial-sums machinery; the paper notes the `T` recurrence "takes the
+//! same form as the conventional SimRank formula except for the damping
+//! factor". This module executes a prebuilt [`SharingPlan`] once per
+//! iteration:
+//!
+//! * **inner pass** — replay the schedule, maintaining
+//!   `Partial_{I(u)}(y) = Σ_{x∈I(u)} s_k(x, y)` buffers via Proposition 3
+//!   updates along tree edges;
+//! * **outer pass** (procedure `OP`) — for each finished source buffer, walk
+//!   the same tree in preorder maintaining scalar
+//!   `OuterPartial^{I(u)}_{I(w)}` values via Proposition 4 updates, emitting
+//!   `s_{k+1}(u, w)`.
+
+use crate::grid::ScoreGrid;
+use crate::instrument::{MemoryModel, OpCounter, PhaseTimer, Report};
+use crate::options::SimRankOptions;
+use crate::plan::{EdgeOp, SharingPlan, Step};
+use simrank_graph::DiGraph;
+
+/// Which recurrence the engine iterates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Conventional SimRank (Eq. 2): damping `C` inside the update, diagonal
+    /// pinned to 1 every iteration, `S₀ = I`.
+    Conventional,
+    /// The differential auxiliary sequence `T_{k+1} = Q·T_k·Qᵀ` (Eq. 15): no
+    /// damping inside the update, no diagonal pinning, `T₀ = I`; the caller
+    /// accumulates `Ŝ`.
+    Differential,
+}
+
+/// An observer invoked after every completed iteration with `(k, S_k)`;
+/// used by the convergence experiments (Fig. 6e/6f) to find the first
+/// iteration reaching a target accuracy.
+pub type Observer<'a> = &'a mut dyn FnMut(u32, &ScoreGrid);
+
+/// Runs `iterations` of the given mode over `g` with the prebuilt `plan`.
+///
+/// Returns the final score grid and the instrumentation report. In
+/// `Differential` mode the returned grid is the accumulated `Ŝ_K`, not the
+/// auxiliary `T_K`.
+pub fn run(
+    g: &DiGraph,
+    plan: &SharingPlan,
+    opts: &SimRankOptions,
+    mode: Mode,
+    iterations: u32,
+    mut observer: Option<Observer<'_>>,
+) -> (ScoreGrid, Report) {
+    let n = g.node_count();
+    let mut timer = PhaseTimer::start();
+    let mut counter = OpCounter::new();
+    let mut mem = MemoryModel::new();
+
+    // Ping-pong grids.
+    let mut cur = ScoreGrid::identity(n);
+    let mut next = ScoreGrid::zeros(n);
+
+    // Differential accumulator Ŝ₀ = e^{-C}·I and running coefficient.
+    let e_neg_c = (-opts.damping).exp();
+    let mut s_hat = match mode {
+        Mode::Differential => Some(ScoreGrid::scaled_identity(n, e_neg_c)),
+        Mode::Conventional => None,
+    };
+    let mut coef_term = 1.0f64; // C^k / k! running product
+
+    // Buffer pool for inner partial sums.
+    let mut pool: Vec<Vec<f64>> = (0..plan.slots).map(|_| vec![0.0f64; n]).collect();
+    mem.alloc(plan.slots * n * 8);
+    // Outer scalar per tree node (index 0 = root, unused).
+    let mut outer = vec![0.0f64; plan.targets.len() + 1];
+    mem.alloc(outer.len() * 8);
+    if mode == Mode::Differential {
+        // Beyond the ping-pong score state every algorithm carries, the
+        // differential model memoizes the auxiliary `T_k` (Eq. 15). The
+        // accumulation `Ŝ += coef·T` is row-streamable, so — matching the
+        // paper's O(n)-intermediate accounting in Proposition 5 and
+        // Fig. 6d's "a bit more space than OIP-SR" observation — we charge
+        // two extra row buffers (one `T` row, one `Ŝ` row in flight).
+        mem.alloc(2 * n * 8);
+    }
+
+    let in_deg: Vec<f64> = plan.targets.iter().map(|&v| g.in_degree(v) as f64).collect();
+    let damping = match mode {
+        Mode::Conventional => opts.damping,
+        Mode::Differential => 1.0,
+    };
+
+    for k in 0..iterations {
+        next.clear();
+        for step in &plan.schedule {
+            match *step {
+                Step::Scratch { t, slot } => {
+                    let buf = &mut pool[slot as usize];
+                    buf.fill(0.0);
+                    let ins = g.in_neighbors(plan.targets[t as usize]);
+                    for &x in ins {
+                        cur.add_row_into(x as usize, buf);
+                    }
+                    counter.add(((ins.len() as u64).saturating_sub(1)) * n as u64);
+                }
+                Step::CopyUpdate { t, parent_slot, slot } => {
+                    // Split-borrow the two distinct slots.
+                    let (src, dst) = borrow_two(&mut pool, parent_slot as usize, slot as usize);
+                    dst.copy_from_slice(src);
+                    apply_update(&cur, &plan.ops[t as usize], dst, &mut counter, n);
+                }
+                Step::InPlace { t, slot } => {
+                    apply_update(
+                        &cur,
+                        &plan.ops[t as usize],
+                        &mut pool[slot as usize],
+                        &mut counter,
+                        n,
+                    );
+                }
+                Step::Emit { t, slot } => {
+                    emit_source(
+                        g,
+                        plan,
+                        opts,
+                        mode,
+                        damping,
+                        t as usize,
+                        &pool[slot as usize],
+                        &in_deg,
+                        &mut outer,
+                        &mut next,
+                        &mut counter,
+                    );
+                }
+            }
+        }
+        if mode == Mode::Conventional {
+            next.set_diagonal(1.0);
+        }
+        std::mem::swap(&mut cur, &mut next);
+        if let Some(s_hat) = s_hat.as_mut() {
+            // Ŝ_{k+1} = Ŝ_k + e^{-C}·C^{k+1}/(k+1)!·T_{k+1}.
+            coef_term *= opts.damping / (k as f64 + 1.0);
+            s_hat.add_assign_scaled(&cur, e_neg_c * coef_term);
+        }
+        if let Some(obs) = observer.as_mut() {
+            match (&s_hat, mode) {
+                (Some(s), Mode::Differential) => obs(k + 1, s),
+                (_, Mode::Conventional) => obs(k + 1, &cur),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    let share_sums = timer.lap();
+    let report = Report {
+        iterations,
+        adds: counter.total(),
+        mst_build: plan.build_time,
+        share_sums,
+        tree_weight: plan.tree_weight,
+        d_eff: plan.d_eff(),
+        peak_intermediate_bytes: mem.peak(),
+        peak_live_buffers: plan.slots,
+    };
+    let result = match mode {
+        Mode::Conventional => cur,
+        Mode::Differential => s_hat.expect("differential accumulator exists"),
+    };
+    (result, report)
+}
+
+/// Applies a Proposition 3 update to a partial-sum buffer.
+#[inline]
+fn apply_update(
+    cur: &ScoreGrid,
+    op: &EdgeOp,
+    buf: &mut [f64],
+    counter: &mut OpCounter,
+    n: usize,
+) {
+    match op {
+        EdgeOp::Scratch => unreachable!("schedule maps Scratch ops to Scratch steps"),
+        EdgeOp::Update { sub, add } => {
+            for &x in sub.iter() {
+                cur.sub_row_from(x as usize, buf);
+            }
+            for &x in add.iter() {
+                cur.add_row_into(x as usize, buf);
+            }
+            counter.add((sub.len() + add.len()) as u64 * n as u64);
+        }
+    }
+}
+
+/// The outer pass (procedure `OP`) for one source vertex.
+#[allow(clippy::too_many_arguments)]
+fn emit_source(
+    g: &DiGraph,
+    plan: &SharingPlan,
+    opts: &SimRankOptions,
+    mode: Mode,
+    damping: f64,
+    t: usize,
+    partial: &[f64],
+    in_deg: &[f64],
+    outer: &mut [f64],
+    next: &mut ScoreGrid,
+    counter: &mut OpCounter,
+) {
+    let u = plan.targets[t] as usize;
+    let du = in_deg[t];
+    let row = next.row_mut(u);
+    if opts.outer_sharing {
+        // Preorder walk sharing OuterPartial scalars (Proposition 4).
+        for &node in &plan.preorder {
+            let wt = node as usize - 1;
+            let val = match &plan.ops[wt] {
+                EdgeOp::Scratch => {
+                    let ins = g.in_neighbors(plan.targets[wt]);
+                    let mut s = 0.0;
+                    for &y in ins {
+                        s += partial[y as usize];
+                    }
+                    counter.add((ins.len() as u64).saturating_sub(1));
+                    s
+                }
+                EdgeOp::Update { sub, add } => {
+                    let parent =
+                        plan.arb.parent(node as usize).expect("non-root node has a parent");
+                    let mut s = outer[parent];
+                    for &y in sub.iter() {
+                        s -= partial[y as usize];
+                    }
+                    for &y in add.iter() {
+                        s += partial[y as usize];
+                    }
+                    counter.add((sub.len() + add.len()) as u64);
+                    s
+                }
+            };
+            outer[node as usize] = val;
+            write_score(row, opts, mode, damping, u, plan.targets[wt] as usize, du, in_deg[wt], val);
+        }
+    } else {
+        // Ablation: outer sums accumulated one-by-one, as in psum-SR Eq. (5).
+        for (wt, &w) in plan.targets.iter().enumerate() {
+            if mode == Mode::Conventional && w as usize == u {
+                continue; // psum-SR skips the diagonal before summing
+            }
+            let ins = g.in_neighbors(w);
+            let mut s = 0.0;
+            for &y in ins {
+                s += partial[y as usize];
+            }
+            counter.add((ins.len() as u64).saturating_sub(1));
+            write_score(row, opts, mode, damping, u, w as usize, du, in_deg[wt], s);
+        }
+    }
+}
+
+/// Final per-pair write with mode-specific diagonal and threshold handling.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn write_score(
+    row: &mut [f64],
+    opts: &SimRankOptions,
+    mode: Mode,
+    damping: f64,
+    u: usize,
+    w: usize,
+    du: f64,
+    dw: f64,
+    outer_val: f64,
+) {
+    if mode == Mode::Conventional && u == w {
+        return; // diagonal pinned to 1 afterwards
+    }
+    let mut val = damping / (du * dw) * outer_val;
+    if let Some(delta) = opts.threshold {
+        if val < delta {
+            val = 0.0;
+        }
+    }
+    row[w] = val;
+}
+
+/// Disjoint mutable borrows of two pool slots.
+fn borrow_two(pool: &mut [Vec<f64>], a: usize, b: usize) -> (&[f64], &mut [f64]) {
+    assert_ne!(a, b, "schedule must not copy a slot onto itself");
+    if a < b {
+        let (lo, hi) = pool.split_at_mut(b);
+        (&lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = pool.split_at_mut(a);
+        (&hi[0], &mut lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SharingPlan;
+    use simrank_graph::fixtures::paper_fig1a;
+
+    fn run_fixture(mode: Mode, k: u32, opts: &SimRankOptions) -> ScoreGrid {
+        let g = paper_fig1a();
+        let plan = SharingPlan::build(&g, opts);
+        run(&g, &plan, opts, mode, k, None).0
+    }
+
+    #[test]
+    fn conventional_first_iteration_known_value() {
+        // s₁(a, b) = C·|I(a) ∩ I(b)| / (|I(a)||I(b)|) = 0.6·1/8 = 0.075.
+        let opts = SimRankOptions::default();
+        let s1 = run_fixture(Mode::Conventional, 1, &opts);
+        assert!((s1.get(0, 1) - 0.075).abs() < 1e-12);
+        // s₁(e, b): I(e)={f,g}, I(b)={e,f,g,i} share {f,g}: 0.6·2/8 = 0.15.
+        assert!((s1.get(4, 1) - 0.15).abs() < 1e-12);
+        // Diagonal pinned.
+        for v in 0..9 {
+            assert_eq!(s1.get(v, v), 1.0);
+        }
+        // Rows of in-degree-0 vertices are zero off-diagonal.
+        for w in 0..9 {
+            if w != 5 {
+                assert_eq!(s1.get(5, w), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_fig4_worked_example() {
+        // Fig. 4 tabulates Partial/Outer/s₃ values for k = 2, C = 0.6. The
+        // displayed numbers are truncated to two decimals; we verify our
+        // s₃ values against every populated cell of the two rightmost
+        // column groups with a matching tolerance.
+        let opts = SimRankOptions::default().with_damping(0.6);
+        let s3 = run_fixture(Mode::Conventional, 3, &opts);
+        // Column s_{k+1}(x, a): rows a, e, h, c, b, d.
+        let expect_a = [
+            (0usize, 1.0),
+            (4, 0.15),
+            (7, 0.17),
+            (2, 0.21),
+            (1, 0.09),
+            (3, 0.02),
+        ];
+        // Column s_{k+1}(x, c).
+        let expect_c = [
+            (0usize, 0.21),
+            (4, 0.1),
+            (7, 0.22),
+            (2, 1.0),
+            (1, 0.06),
+            (3, 0.02),
+        ];
+        for &(x, want) in &expect_a {
+            let got = s3.get(x, 0);
+            assert!((got - want).abs() < 0.011, "s3({x}, a): got {got}, paper {want}");
+        }
+        for &(x, want) in &expect_c {
+            let got = s3.get(x, 2);
+            assert!((got - want).abs() < 0.011, "s3({x}, c): got {got}, paper {want}");
+        }
+    }
+
+    #[test]
+    fn outer_sharing_ablation_agrees() {
+        let shared = run_fixture(Mode::Conventional, 5, &SimRankOptions::default());
+        let unshared = run_fixture(
+            Mode::Conventional,
+            5,
+            &SimRankOptions::default().with_outer_sharing(false),
+        );
+        assert!(shared.max_abs_diff(&unshared) < 1e-12);
+    }
+
+    #[test]
+    fn outer_sharing_saves_adds() {
+        let g = paper_fig1a();
+        let opts = SimRankOptions::default();
+        let plan = SharingPlan::build(&g, &opts);
+        let (_, with) = run(&g, &plan, &opts, Mode::Conventional, 3, None);
+        let opts_off = opts.with_outer_sharing(false);
+        let (_, without) = run(&g, &plan, &opts_off, Mode::Conventional, 3, None);
+        assert!(
+            with.adds < without.adds,
+            "sharing {} vs one-by-one {}",
+            with.adds,
+            without.adds
+        );
+    }
+
+    #[test]
+    fn differential_mode_accumulates() {
+        let opts = SimRankOptions::default().with_damping(0.6);
+        let s_hat = run_fixture(Mode::Differential, 6, &opts);
+        let e = (-0.6f64).exp();
+        // Source vertices keep Ŝ(v,v) = e^{-C} (their T_k rows vanish).
+        assert!((s_hat.get(5, 5) - e).abs() < 1e-12);
+        // Entries bounded by 1 and nonnegative.
+        for a in 0..9 {
+            for b in 0..9 {
+                let v = s_hat.get(a, b);
+                assert!((0.0..=1.0 + 1e-12).contains(&v), "Ŝ({a},{b}) = {v}");
+            }
+        }
+        // Ŝ(v,v) ≤ 1 with equality iff the full exponential sum kicks in.
+        assert!(s_hat.get(1, 1) > e);
+    }
+
+    #[test]
+    fn observer_sees_every_iteration() {
+        let g = paper_fig1a();
+        let opts = SimRankOptions::default();
+        let plan = SharingPlan::build(&g, &opts);
+        let mut ks = Vec::new();
+        let mut cb = |k: u32, _s: &ScoreGrid| ks.push(k);
+        let _ = run(&g, &plan, &opts, Mode::Conventional, 4, Some(&mut cb));
+        assert_eq!(ks, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn threshold_sieves_small_scores() {
+        let opts = SimRankOptions::default().with_threshold(0.5);
+        let s = run_fixture(Mode::Conventional, 5, &opts);
+        for a in 0..9 {
+            for b in 0..9 {
+                let v = s.get(a, b);
+                assert!(v == 0.0 || v >= 0.5 || a == b, "sieved value {v} at ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn report_is_populated() {
+        let g = paper_fig1a();
+        let opts = SimRankOptions::default();
+        let plan = SharingPlan::build(&g, &opts);
+        let (_, report) = run(&g, &plan, &opts, Mode::Conventional, 3, None);
+        assert_eq!(report.iterations, 3);
+        assert!(report.adds > 0);
+        assert_eq!(report.tree_weight, 8);
+        assert!(report.d_eff > 0.0 && report.d_eff < 2.0);
+        assert!(report.peak_intermediate_bytes >= 9 * 8);
+    }
+}

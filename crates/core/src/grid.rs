@@ -1,0 +1,189 @@
+//! Full-square iteration workspace for similarity scores.
+
+use crate::matrix::SimMatrix;
+
+/// A full (non-packed) `n × n` score matrix used *inside* iterations.
+///
+/// The partial-sums inner loop accumulates whole rows of `S_k`; a full
+/// row-major layout keeps those accumulations contiguous (and
+/// autovectorizable), which the packed triangle cannot. Algorithms iterate
+/// on `ScoreGrid` ping-pong buffers and convert the final result to the
+/// packed [`SimMatrix`] via [`ScoreGrid::to_sim_matrix`].
+///
+/// Rows are written per *source* vertex each iteration; symmetry therefore
+/// holds up to floating-point summation order (the conversion symmetrizes
+/// by averaging, which is a no-op in exact arithmetic).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoreGrid {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl ScoreGrid {
+    /// All-zeros grid.
+    pub fn zeros(n: usize) -> Self {
+        ScoreGrid { n, data: vec![0.0; n * n] }
+    }
+
+    /// Identity grid (`S₀`).
+    pub fn identity(n: usize) -> Self {
+        let mut g = Self::zeros(n);
+        g.set_diagonal(1.0);
+        g
+    }
+
+    /// Scaled identity (`Ŝ₀ = e^{-C} I`).
+    pub fn scaled_identity(n: usize, alpha: f64) -> Self {
+        let mut g = Self::zeros(n);
+        g.set_diagonal(alpha);
+        g
+    }
+
+    /// Matrix order.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(a, b)`.
+    #[inline]
+    pub fn get(&self, a: usize, b: usize) -> f64 {
+        self.data[a * self.n + b]
+    }
+
+    /// Sets entry `(a, b)` only (no mirror write; see type docs).
+    #[inline]
+    pub fn set(&mut self, a: usize, b: usize, v: f64) {
+        self.data[a * self.n + b] = v;
+    }
+
+    /// Sets `(a, b)` and `(b, a)`.
+    #[inline]
+    pub fn set_sym(&mut self, a: usize, b: usize, v: f64) {
+        self.data[a * self.n + b] = v;
+        self.data[b * self.n + a] = v;
+    }
+
+    /// Row view.
+    #[inline]
+    pub fn row(&self, a: usize) -> &[f64] {
+        &self.data[a * self.n..(a + 1) * self.n]
+    }
+
+    /// Mutable row view.
+    #[inline]
+    pub fn row_mut(&mut self, a: usize) -> &mut [f64] {
+        &mut self.data[a * self.n..(a + 1) * self.n]
+    }
+
+    /// `out[y] += self[x][y]` for all y — contiguous row accumulation.
+    #[inline]
+    pub fn add_row_into(&self, x: usize, out: &mut [f64]) {
+        for (o, v) in out.iter_mut().zip(self.row(x)) {
+            *o += *v;
+        }
+    }
+
+    /// `out[y] -= self[x][y]` for all y.
+    #[inline]
+    pub fn sub_row_from(&self, x: usize, out: &mut [f64]) {
+        for (o, v) in out.iter_mut().zip(self.row(x)) {
+            *o -= *v;
+        }
+    }
+
+    /// Sets all diagonal entries.
+    pub fn set_diagonal(&mut self, v: f64) {
+        for i in 0..self.n {
+            self.data[i * self.n + i] = v;
+        }
+    }
+
+    /// Zeroes every entry.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// `self += alpha · other`.
+    pub fn add_assign_scaled(&mut self, other: &ScoreGrid, alpha: f64) {
+        assert_eq!(self.n, other.n);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * *b;
+        }
+    }
+
+    /// Largest absolute entry difference.
+    pub fn max_abs_diff(&self, other: &ScoreGrid) -> f64 {
+        assert_eq!(self.n, other.n);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    /// Converts to packed symmetric storage, averaging the two triangles.
+    pub fn to_sim_matrix(&self) -> SimMatrix {
+        let mut out = SimMatrix::zeros(self.n);
+        for a in 0..self.n {
+            for b in a..self.n {
+                out.set(a, b, 0.5 * (self.get(a, b) + self.get(b, a)));
+            }
+        }
+        out
+    }
+
+    /// Heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_rows() {
+        let g = ScoreGrid::identity(3);
+        assert_eq!(g.row(1), &[0.0, 1.0, 0.0]);
+        assert_eq!(g.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn row_accumulation() {
+        let mut g = ScoreGrid::zeros(3);
+        g.set(1, 0, 0.5);
+        g.set(1, 2, 0.25);
+        let mut buf = vec![1.0; 3];
+        g.add_row_into(1, &mut buf);
+        assert_eq!(buf, vec![1.5, 1.0, 1.25]);
+        g.sub_row_from(1, &mut buf);
+        assert_eq!(buf, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn to_sim_matrix_symmetrizes() {
+        let mut g = ScoreGrid::zeros(2);
+        g.set(0, 1, 0.4);
+        g.set(1, 0, 0.6);
+        let m = g.to_sim_matrix();
+        assert!((m.get(0, 1) - 0.5).abs() < 1e-15);
+        assert!((m.get(1, 0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn diff_metric() {
+        let a = ScoreGrid::identity(2);
+        let mut b = ScoreGrid::identity(2);
+        b.set(0, 1, 0.3);
+        assert!((a.max_abs_diff(&b) - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scaled_accumulate() {
+        let mut a = ScoreGrid::zeros(2);
+        let b = ScoreGrid::identity(2);
+        a.add_assign_scaled(&b, 0.7);
+        assert_eq!(a.get(0, 0), 0.7);
+    }
+}

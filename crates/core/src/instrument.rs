@@ -1,0 +1,183 @@
+//! Instrumentation: operation counters, phase timers, memory accounting.
+//!
+//! The paper's evaluation reports more than wall-clock time: Fig. 6b splits
+//! runtime into a "Build MST" and a "Share Sums" phase, Fig. 6c annotates a
+//! *share ratio*, and Fig. 6d reports intermediate memory. This module
+//! carries those measurements out of every algorithm run.
+
+use std::time::{Duration, Instant};
+
+/// Measurements accumulated during a SimRank run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Iterations actually executed.
+    pub iterations: u32,
+    /// Similarity additions/subtractions performed across all iterations —
+    /// the abstract cost the OIP optimization minimizes (paper §III's
+    /// "number of additions").
+    pub adds: u64,
+    /// Wall time spent building the transition-cost graph and its minimum
+    /// spanning arborescence (`DMST-Reduce`).
+    pub mst_build: Duration,
+    /// Wall time spent in the iterative partial-sums phase.
+    pub share_sums: Duration,
+    /// Total arborescence weight (sum of the chosen transition costs).
+    pub tree_weight: u64,
+    /// Effective per-vertex cost `d′`: tree weight / #non-empty in-sets.
+    /// The paper's Proposition 5 claims `d′ ≤ d`, typically `d′ ≪ d`.
+    pub d_eff: f64,
+    /// Peak intermediate heap (partial-sum buffers, outer scalars, auxiliary
+    /// matrices) in bytes — excludes the output similarity matrix itself,
+    /// matching how the paper reports "memory space".
+    pub peak_intermediate_bytes: usize,
+    /// Largest number of simultaneously live partial-sum buffers.
+    pub peak_live_buffers: usize,
+}
+
+impl Report {
+    /// Total wall time of the run.
+    pub fn total_time(&self) -> Duration {
+        self.mst_build + self.share_sums
+    }
+
+    /// Fraction of additions saved relative to a baseline run, the paper's
+    /// Fig. 6c "share ratio". Returns 0 when the baseline did no work.
+    pub fn share_ratio_vs(&self, baseline: &Report) -> f64 {
+        if baseline.adds == 0 {
+            0.0
+        } else {
+            1.0 - self.adds as f64 / baseline.adds as f64
+        }
+    }
+}
+
+/// Counts abstract similarity additions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpCounter(u64);
+
+impl OpCounter {
+    /// Fresh counter.
+    pub fn new() -> Self {
+        OpCounter(0)
+    }
+
+    /// Records `n` additions.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn total(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A simple two-phase stopwatch.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    started: Instant,
+}
+
+impl PhaseTimer {
+    /// Starts timing.
+    pub fn start() -> Self {
+        PhaseTimer { started: Instant::now() }
+    }
+
+    /// Elapsed time since start (or last [`PhaseTimer::lap`]).
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.started;
+        self.started = now;
+        d
+    }
+}
+
+/// Tracks peak intermediate allocation sizes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoryModel {
+    current: usize,
+    peak: usize,
+}
+
+impl MemoryModel {
+    /// Fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an allocation of `bytes`.
+    pub fn alloc(&mut self, bytes: usize) {
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Registers a release of `bytes`.
+    pub fn free(&mut self, bytes: usize) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// Peak concurrent intermediate bytes observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Currently tracked bytes.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = OpCounter::new();
+        c.add(10);
+        c.add(5);
+        assert_eq!(c.total(), 15);
+    }
+
+    #[test]
+    fn memory_peak_tracks_high_water_mark() {
+        let mut m = MemoryModel::new();
+        m.alloc(100);
+        m.alloc(50);
+        m.free(120);
+        m.alloc(40);
+        assert_eq!(m.peak(), 150);
+        assert_eq!(m.current(), 70);
+    }
+
+    #[test]
+    fn share_ratio() {
+        let fast = Report { adds: 30, ..Default::default() };
+        let slow = Report { adds: 100, ..Default::default() };
+        assert!((fast.share_ratio_vs(&slow) - 0.7).abs() < 1e-12);
+        let empty = Report::default();
+        assert_eq!(fast.share_ratio_vs(&empty), 0.0);
+    }
+
+    #[test]
+    fn phase_timer_laps_are_disjoint() {
+        let mut t = PhaseTimer::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let a = t.lap();
+        let b = t.lap();
+        assert!(a >= Duration::from_millis(1));
+        assert!(b < a, "second lap should restart from zero");
+    }
+
+    #[test]
+    fn report_total_time() {
+        let r = Report {
+            mst_build: Duration::from_millis(10),
+            share_sums: Duration::from_millis(30),
+            ..Default::default()
+        };
+        assert_eq!(r.total_time(), Duration::from_millis(40));
+    }
+}

@@ -1,0 +1,65 @@
+//! SimRank algorithms from *Towards Efficient SimRank Computation on Large
+//! Networks* (Yu, Lin & Zhang — ICDE 2013), plus the baselines it measures
+//! against and the extensions it names.
+//!
+//! # The algorithms
+//!
+//! | Entry point | Paper name | Complexity / role |
+//! |---|---|---|
+//! | [`naive::naive_simrank`] | Jeh–Widom iteration | `O(K·d²·n²)`; correctness oracle |
+//! | [`psum::psum_simrank`] | `psum-SR` (Lizorkin et al.) | `O(K·d·n²)`; prior state of the art |
+//! | [`oip::oip_simrank`] | `OIP-SR` (Algorithm 1) | `O(d·n² + K·d′·n²)`, `d′ ≤ d` |
+//! | [`dsr::oip_dsr_simrank`] | `OIP-DSR` (§IV) | exponential-rate convergence |
+//! | [`mtx::mtx_simrank`] | `mtx-SR` (Li et al.) | SVD baseline, low-rank graphs |
+//! | [`montecarlo`] | Fogaras–Rácz sampling | probabilistic estimator |
+//! | [`prank::prank`] | P-Rank extension | in+out-link generalization |
+//!
+//! # Quick example
+//!
+//! ```
+//! use simrank_core::{oip::oip_simrank, SimRankOptions};
+//! use simrank_graph::fixtures::paper_fig1a;
+//!
+//! let g = paper_fig1a();
+//! let opts = SimRankOptions::default().with_damping(0.6).with_iterations(10);
+//! let s = oip_simrank(&g, &opts);
+//! // Vertices b and d are cited by overlapping sets {e,f,g,i} / {a,e,f,i}.
+//! assert!(s.get(1, 3) > 0.05);
+//! ```
+//!
+//! # Architecture
+//!
+//! The OIP machinery is split into the precomputed [`plan::SharingPlan`]
+//! (`DMST-Reduce`: transition-cost graph, minimum spanning arborescence,
+//! Proposition-3 update ops, buffer schedule) and the per-iteration
+//! [`engine`] that replays it for either the conventional or the
+//! differential recurrence. [`convergence`] carries the iteration-count
+//! theory (geometric bound, Proposition 7, Corollaries 1–2 with a
+//! from-scratch Lambert-W implementation), [`instrument`] the measurements
+//! the paper's figures report (phase timings, addition counts, `d′`, peak
+//! intermediate memory).
+
+pub mod convergence;
+pub mod dsr;
+pub mod engine;
+pub mod grid;
+pub mod instrument;
+pub mod matrix;
+pub mod matrixform;
+pub mod montecarlo;
+pub mod mtx;
+pub mod naive;
+pub mod oip;
+pub mod options;
+pub mod persist;
+pub mod plan;
+pub mod prank;
+pub mod psum;
+pub mod setops;
+pub mod topk;
+
+pub use grid::ScoreGrid;
+pub use instrument::Report;
+pub use matrix::SimMatrix;
+pub use options::{CostModel, SimRankOptions};
+pub use plan::SharingPlan;

@@ -1,0 +1,266 @@
+//! Packed symmetric storage for all-pairs similarity scores.
+
+/// A symmetric `n × n` matrix stored as the lower triangle
+/// (`n(n+1)/2` entries), with `get`/`set` insensitive to argument order.
+///
+/// SimRank matrices are symmetric by definition, so packing halves the
+/// dominant memory cost of all-pairs computation and *enforces* symmetry of
+/// the result. The row helpers ([`SimMatrix::add_row_into`],
+/// [`SimMatrix::sub_row_from`]) are the hot path of the partial-sums
+/// machinery: they traverse the contiguous prefix of a row and the strided
+/// suffix with incremental index arithmetic, never recomputing triangle
+/// offsets per element.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+#[inline(always)]
+fn tri(i: usize) -> usize {
+    i * (i + 1) / 2
+}
+
+impl SimMatrix {
+    /// All-zeros matrix.
+    pub fn zeros(n: usize) -> Self {
+        SimMatrix { n, data: vec![0.0; tri(n)] }
+    }
+
+    /// Identity matrix — the SimRank iteration seed `S₀`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        m.set_diagonal(1.0);
+        m
+    }
+
+    /// Scaled identity — the differential seed `Ŝ₀ = e^{-C}·I`.
+    pub fn scaled_identity(n: usize, alpha: f64) -> Self {
+        let mut m = Self::zeros(n);
+        m.set_diagonal(alpha);
+        m
+    }
+
+    /// Matrix order `n`.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `s(a, b)`; symmetric in its arguments.
+    #[inline]
+    pub fn get(&self, a: usize, b: usize) -> f64 {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        debug_assert!(hi < self.n);
+        self.data[tri(hi) + lo]
+    }
+
+    /// Sets `s(a, b) = s(b, a) = v`.
+    #[inline]
+    pub fn set(&mut self, a: usize, b: usize, v: f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        debug_assert!(hi < self.n);
+        self.data[tri(hi) + lo] = v;
+    }
+
+    /// Sets every diagonal entry to `v`.
+    pub fn set_diagonal(&mut self, v: f64) {
+        for i in 0..self.n {
+            self.data[tri(i) + i] = v;
+        }
+    }
+
+    /// Resets every entry to zero (reused between iterations).
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// `out[y] += s(x, y)` for all `y` — one partial-sum accumulation.
+    pub fn add_row_into(&self, x: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.n);
+        let base = tri(x);
+        // y ≤ x: contiguous slice of row x.
+        for (o, v) in out[..=x].iter_mut().zip(&self.data[base..base + x + 1]) {
+            *o += *v;
+        }
+        // y > x: entry (y, x) at tri(y) + x; advance tri(y) incrementally.
+        let mut idx = tri(x + 1) + x;
+        for (dy, o) in out[x + 1..].iter_mut().enumerate() {
+            *o += self.data[idx];
+            idx += x + 2 + dy; // tri(y+1) - tri(y) = y + 1
+        }
+    }
+
+    /// `out[y] -= s(x, y)` for all `y` — the subtraction half of the
+    /// symmetric-difference update in Proposition 3.
+    pub fn sub_row_from(&self, x: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.n);
+        let base = tri(x);
+        for (o, v) in out[..=x].iter_mut().zip(&self.data[base..base + x + 1]) {
+            *o -= *v;
+        }
+        let mut idx = tri(x + 1) + x;
+        for (dy, o) in out[x + 1..].iter_mut().enumerate() {
+            *o -= self.data[idx];
+            idx += x + 2 + dy;
+        }
+    }
+
+    /// Copies row `x` into `out` (overwrites).
+    pub fn copy_row_into(&self, x: usize, out: &mut [f64]) {
+        out.fill(0.0);
+        self.add_row_into(x, out);
+    }
+
+    /// Full row as a fresh vector (query convenience).
+    pub fn row(&self, x: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        self.add_row_into(x, &mut out);
+        out
+    }
+
+    /// Largest absolute entry difference — the `‖·‖max` convergence metric.
+    pub fn max_abs_diff(&self, other: &SimMatrix) -> f64 {
+        assert_eq!(self.n, other.n, "order mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    /// Largest absolute entry.
+    pub fn max_norm(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &a| m.max(a.abs()))
+    }
+
+    /// `self += alpha · other` — the differential accumulation step.
+    pub fn add_assign_scaled(&mut self, other: &SimMatrix, alpha: f64) {
+        assert_eq!(self.n, other.n, "order mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * *b;
+        }
+    }
+
+    /// Heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Iterates `(a, b, value)` over the stored triangle (`a ≤ b`).
+    pub fn iter_upper(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |hi| {
+            (0..=hi).map(move |lo| (lo, hi, self.data[tri(hi) + lo]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_layout_len() {
+        assert_eq!(SimMatrix::zeros(5).data.len(), 15);
+        assert_eq!(SimMatrix::zeros(1).data.len(), 1);
+        assert_eq!(SimMatrix::zeros(0).data.len(), 0);
+    }
+
+    #[test]
+    fn get_set_symmetric() {
+        let mut m = SimMatrix::zeros(4);
+        m.set(1, 3, 0.5);
+        assert_eq!(m.get(1, 3), 0.5);
+        assert_eq!(m.get(3, 1), 0.5);
+        m.set(3, 1, 0.7);
+        assert_eq!(m.get(1, 3), 0.7);
+    }
+
+    #[test]
+    fn identity_diag() {
+        let m = SimMatrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+        let s = SimMatrix::scaled_identity(3, 0.25);
+        assert_eq!(s.get(2, 2), 0.25);
+    }
+
+    #[test]
+    fn add_row_matches_get() {
+        let n = 7;
+        let mut m = SimMatrix::zeros(n);
+        // Fill with distinct values.
+        for i in 0..n {
+            for j in i..n {
+                m.set(i, j, (i * 10 + j) as f64 / 100.0);
+            }
+        }
+        for x in 0..n {
+            let mut out = vec![0.0; n];
+            m.add_row_into(x, &mut out);
+            for (y, &v) in out.iter().enumerate() {
+                assert_eq!(v, m.get(x, y), "row {x} col {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_row_inverts_add_row() {
+        let n = 6;
+        let mut m = SimMatrix::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                m.set(i, j, ((i + 1) * (j + 2)) as f64 / 10.0);
+            }
+        }
+        let mut out = vec![0.25; n];
+        m.add_row_into(3, &mut out);
+        m.sub_row_from(3, &mut out);
+        for &v in &out {
+            assert!((v - 0.25).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn copy_row_and_row() {
+        let mut m = SimMatrix::zeros(3);
+        m.set(0, 1, 0.1);
+        m.set(1, 1, 1.0);
+        m.set(1, 2, 0.2);
+        assert_eq!(m.row(1), vec![0.1, 1.0, 0.2]);
+        let mut buf = vec![9.0; 3];
+        m.copy_row_into(1, &mut buf);
+        assert_eq!(buf, vec![0.1, 1.0, 0.2]);
+    }
+
+    #[test]
+    fn diff_and_norm() {
+        let mut a = SimMatrix::identity(3);
+        let b = SimMatrix::identity(3);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        a.set(0, 2, -0.4);
+        assert_eq!(a.max_abs_diff(&b), 0.4);
+        assert_eq!(a.max_norm(), 1.0);
+    }
+
+    #[test]
+    fn scaled_accumulation() {
+        let mut acc = SimMatrix::scaled_identity(2, 0.5);
+        let mut t = SimMatrix::zeros(2);
+        t.set(0, 1, 1.0);
+        acc.add_assign_scaled(&t, 0.25);
+        assert_eq!(acc.get(0, 1), 0.25);
+        assert_eq!(acc.get(0, 0), 0.5);
+    }
+
+    #[test]
+    fn iter_upper_covers_triangle() {
+        let mut m = SimMatrix::zeros(3);
+        m.set(0, 2, 0.3);
+        let items: Vec<_> = m.iter_upper().collect();
+        assert_eq!(items.len(), 6);
+        assert!(items.contains(&(0, 2, 0.3)));
+    }
+}

@@ -1,0 +1,186 @@
+//! Algorithm configuration shared by every SimRank variant.
+
+use crate::convergence;
+
+/// How tree-edge transition costs are modeled — the knob behind the
+/// `ablation_cost_model` bench.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostModel {
+    /// The paper's Eq. (7): `min(|A ⊖ B|, |B| − 1)`.
+    Min,
+    /// Always pay the from-scratch cost `|B| − 1`. With this model every
+    /// partial sum is recomputed independently, so `OIP-SR` degenerates to
+    /// `psum-SR` inside the same code path (the `ablation_mst` baseline).
+    ScratchOnly,
+    /// Always pay the symmetric-difference cost, even when starting from
+    /// scratch would be cheaper.
+    SymDiffOnly,
+}
+
+/// Configuration for all SimRank computations.
+///
+/// Defaults follow the paper's experimental setting: `C = 0.6`,
+/// `ε = 0.001`, no threshold sieving.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimRankOptions {
+    /// Damping factor `C ∈ (0, 1)`.
+    pub damping: f64,
+    /// Explicit iteration count `K`; when `None`, derived from [`Self::epsilon`]
+    /// via the convergence theory (geometric `⌈log_C ε⌉` for conventional
+    /// SimRank, the factorial bound of Proposition 7 for differential).
+    pub iterations: Option<u32>,
+    /// Desired accuracy `ε` used when [`Self::iterations`] is `None`.
+    pub epsilon: f64,
+    /// Threshold-sieving `δ` (Lizorkin's third optimization): computed
+    /// similarities below `δ` are clamped to zero. `None` disables.
+    pub threshold: Option<f64>,
+    /// Essential-pair filtering: skip vertex pairs in different weakly
+    /// connected components (their SimRank is identically zero).
+    pub component_filter: bool,
+    /// Enable outer partial-sums sharing (Proposition 4 / procedure `OP`).
+    /// Disabling is the `ablation_outer` baseline: inner sharing only, outer
+    /// sums accumulated one-by-one as in psum-SR.
+    pub outer_sharing: bool,
+    /// Transition-cost model (paper Eq. 7 by default).
+    pub cost_model: CostModel,
+    /// Use full Chu–Liu/Edmonds instead of the DAG fast path when extracting
+    /// the minimum spanning arborescence (`ablation_dmst_algo`). Both yield
+    /// equal-weight trees on `DMST-Reduce` cost graphs.
+    pub use_edmonds: bool,
+}
+
+impl Default for SimRankOptions {
+    fn default() -> Self {
+        SimRankOptions {
+            damping: 0.6,
+            iterations: None,
+            epsilon: 1e-3,
+            threshold: None,
+            component_filter: false,
+            outer_sharing: true,
+            cost_model: CostModel::Min,
+            use_edmonds: false,
+        }
+    }
+}
+
+impl SimRankOptions {
+    /// Sets the damping factor `C` (must lie strictly inside `(0, 1)`).
+    pub fn with_damping(mut self, c: f64) -> Self {
+        assert!(c > 0.0 && c < 1.0, "damping factor must be in (0, 1), got {c}");
+        self.damping = c;
+        self
+    }
+
+    /// Fixes the iteration count `K`.
+    pub fn with_iterations(mut self, k: u32) -> Self {
+        self.iterations = Some(k);
+        self
+    }
+
+    /// Sets the target accuracy `ε` (and clears an explicit `K`).
+    pub fn with_epsilon(mut self, eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "epsilon must be in (0, 1), got {eps}");
+        self.epsilon = eps;
+        self.iterations = None;
+        self
+    }
+
+    /// Enables threshold sieving at `delta`.
+    pub fn with_threshold(mut self, delta: f64) -> Self {
+        self.threshold = Some(delta);
+        self
+    }
+
+    /// Toggles outer partial-sums sharing.
+    pub fn with_outer_sharing(mut self, on: bool) -> Self {
+        self.outer_sharing = on;
+        self
+    }
+
+    /// Selects the transition-cost model.
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Selects full Chu–Liu/Edmonds for tree extraction.
+    pub fn with_edmonds(mut self, on: bool) -> Self {
+        self.use_edmonds = on;
+        self
+    }
+
+    /// Iterations to run for *conventional* (geometric) SimRank:
+    /// the explicit `K`, else the paper's `K = ⌈log_C ε⌉`.
+    pub fn conventional_iterations(&self) -> u32 {
+        self.iterations
+            .unwrap_or_else(|| convergence::geometric_iterations(self.damping, self.epsilon))
+    }
+
+    /// Iterations to run for *differential* (exponential) SimRank: the
+    /// explicit `K`, else the minimal `k` with `C^{k+1}/(k+1)! ≤ ε`
+    /// (Proposition 7's bound, evaluated exactly).
+    pub fn differential_iterations(&self) -> u32 {
+        self.iterations
+            .unwrap_or_else(|| convergence::differential_iterations(self.damping, self.epsilon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setting() {
+        let o = SimRankOptions::default();
+        assert_eq!(o.damping, 0.6);
+        assert_eq!(o.epsilon, 1e-3);
+        assert_eq!(o.threshold, None);
+        assert!(o.outer_sharing);
+        assert_eq!(o.cost_model, CostModel::Min);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let o = SimRankOptions::default()
+            .with_damping(0.8)
+            .with_epsilon(1e-4)
+            .with_threshold(1e-5)
+            .with_outer_sharing(false)
+            .with_cost_model(CostModel::ScratchOnly)
+            .with_edmonds(true);
+        assert_eq!(o.damping, 0.8);
+        assert_eq!(o.epsilon, 1e-4);
+        assert_eq!(o.threshold, Some(1e-5));
+        assert!(!o.outer_sharing);
+        assert!(o.use_edmonds);
+    }
+
+    #[test]
+    fn explicit_iterations_take_priority() {
+        let o = SimRankOptions::default().with_iterations(7);
+        assert_eq!(o.conventional_iterations(), 7);
+        assert_eq!(o.differential_iterations(), 7);
+    }
+
+    #[test]
+    fn paper_iteration_example() {
+        // Paper §IV: C = 0.8, ε = 1e-4 needs K = ⌈log_0.8 1e-4⌉ = 42 for the
+        // conventional model but only ~7 for the differential model.
+        let o = SimRankOptions::default().with_damping(0.8).with_epsilon(1e-4);
+        assert_eq!(o.conventional_iterations(), 42);
+        assert!(o.differential_iterations() <= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping factor")]
+    fn rejects_bad_damping() {
+        let _ = SimRankOptions::default().with_damping(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_bad_epsilon() {
+        let _ = SimRankOptions::default().with_epsilon(0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Binary persistence for similarity matrices.
+//!
+//! All-pairs SimRank is expensive enough that downstream users cache it;
+//! this codec stores the packed triangle with a versioned header so cached
+//! scores survive process restarts and can be shipped between machines.
+//! Little-endian `f64`s; format:
+//! `magic "SRM1" | order u32 | n(n+1)/2 doubles`.
+
+use crate::matrix::SimMatrix;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Errors from the score codec.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Malformed or truncated payload.
+    Codec(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Codec(m) => write!(f, "score codec error: {m}"),
+            PersistError::Io(e) => write!(f, "score I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+const MAGIC: [u8; 4] = *b"SRM1";
+
+/// Serializes `scores` to a writer.
+pub fn write_scores<W: Write>(scores: &SimMatrix, mut w: W) -> Result<(), PersistError> {
+    let n = scores.order();
+    w.write_all(&MAGIC)?;
+    w.write_all(&(n as u32).to_le_bytes())?;
+    // Stream the packed triangle in row order (a ≤ b ⇒ stored once).
+    for (_, _, v) in scores.iter_upper() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserializes scores from a reader.
+pub fn read_scores<R: Read>(mut r: R) -> Result<SimMatrix, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(|_| PersistError::Codec("truncated header".into()))?;
+    if magic != MAGIC {
+        return Err(PersistError::Codec(format!("bad magic {magic:?}")));
+    }
+    let mut nb = [0u8; 4];
+    r.read_exact(&mut nb).map_err(|_| PersistError::Codec("truncated order".into()))?;
+    let n = u32::from_le_bytes(nb) as usize;
+    let mut out = SimMatrix::zeros(n);
+    let mut buf = [0u8; 8];
+    for hi in 0..n {
+        for lo in 0..=hi {
+            r.read_exact(&mut buf)
+                .map_err(|_| PersistError::Codec(format!("truncated at entry ({lo},{hi})")))?;
+            out.set(lo, hi, f64::from_le_bytes(buf));
+        }
+    }
+    // Reject trailing garbage so corrupted caches fail loudly.
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => Ok(out),
+        _ => Err(PersistError::Codec("trailing bytes after matrix".into())),
+    }
+}
+
+/// Saves scores to `path`.
+pub fn save_scores(scores: &SimMatrix, path: &Path) -> Result<(), PersistError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write_scores(scores, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads scores from `path`.
+pub fn load_scores(path: &Path) -> Result<SimMatrix, PersistError> {
+    let file = std::fs::File::open(path)?;
+    read_scores(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oip::oip_simrank;
+    use crate::options::SimRankOptions;
+    use simrank_graph::fixtures::paper_fig1a;
+
+    fn sample() -> SimMatrix {
+        oip_simrank(&paper_fig1a(), &SimRankOptions::default().with_iterations(5))
+    }
+
+    #[test]
+    fn round_trip_in_memory() {
+        let s = sample();
+        let mut buf = Vec::new();
+        write_scores(&s, &mut buf).unwrap();
+        let back = read_scores(&buf[..]).unwrap();
+        assert_eq!(back.order(), s.order());
+        assert_eq!(back.max_abs_diff(&s), 0.0, "bit-exact round trip");
+    }
+
+    #[test]
+    fn round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("simrank-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scores.srm");
+        let s = sample();
+        save_scores(&s, &path).unwrap();
+        let back = load_scores(&path).unwrap();
+        assert_eq!(back.max_abs_diff(&s), 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let s = sample();
+        let mut buf = Vec::new();
+        write_scores(&s, &mut buf).unwrap();
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(read_scores(&bad[..]), Err(PersistError::Codec(_))));
+        // Truncation.
+        let short = &buf[..buf.len() - 5];
+        assert!(matches!(read_scores(short), Err(PersistError::Codec(_))));
+        // Trailing garbage.
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(matches!(read_scores(&long[..]), Err(PersistError::Codec(_))));
+    }
+
+    #[test]
+    fn empty_matrix_round_trips() {
+        let s = SimMatrix::zeros(0);
+        let mut buf = Vec::new();
+        write_scores(&s, &mut buf).unwrap();
+        assert_eq!(read_scores(&buf[..]).unwrap().order(), 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! P-Rank (Penetrating Rank, Zhao et al., CIKM'09) — the in+out-link
+//! generalization of SimRank.
+//!
+//! The paper's related-work section notes that "since the iterative
+//! paradigms of SimRank and P-Rank are almost similar, our techniques for
+//! SimRank can be easily extended to P-Rank". This module delivers that
+//! extension: the recurrence
+//!
+//! ```text
+//! s(a,b) = λ·C/(|I(a)||I(b)|)·ΣΣ s(i,j)  +  (1−λ)·C/(|O(a)||O(b)|)·ΣΣ s(o,o′)
+//! ```
+//!
+//! runs two partial-sums passes per iteration — one over in-neighbor sets
+//! on `G`, one over out-neighbor sets (i.e. in-neighbor sets of the
+//! reversed graph) — each with its own OIP sharing plan. `λ = 1` recovers
+//! SimRank exactly.
+
+use crate::grid::ScoreGrid;
+use crate::instrument::{OpCounter, PhaseTimer, Report};
+use crate::matrix::SimMatrix;
+use crate::options::SimRankOptions;
+use crate::plan::{EdgeOp, SharingPlan, Step};
+use simrank_graph::DiGraph;
+
+/// Weighting between the in-link and out-link evidence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PRankOptions {
+    /// Base SimRank options (damping, iterations, …).
+    pub base: SimRankOptions,
+    /// λ ∈ [0, 1]: 1 = in-links only (SimRank), 0 = out-links only.
+    pub lambda: f64,
+}
+
+impl Default for PRankOptions {
+    fn default() -> Self {
+        PRankOptions { base: SimRankOptions::default(), lambda: 0.5 }
+    }
+}
+
+/// All-pairs P-Rank with OIP partial-sums sharing on both link directions.
+pub fn prank(g: &DiGraph, opts: &PRankOptions) -> SimMatrix {
+    prank_with_report(g, opts).0
+}
+
+/// As [`prank`], also returning instrumentation.
+pub fn prank_with_report(g: &DiGraph, opts: &PRankOptions) -> (SimMatrix, Report) {
+    assert!((0.0..=1.0).contains(&opts.lambda), "lambda must be in [0, 1]");
+    let n = g.node_count();
+    let c = opts.base.damping;
+    let k_max = opts.base.conventional_iterations();
+    let mut timer = PhaseTimer::start();
+
+    // In-link plan on G; out-link plan is the in-link plan of reversed G.
+    let reversed = g.reverse();
+    let in_plan = SharingPlan::build(g, &opts.base);
+    let out_plan = SharingPlan::build(&reversed, &opts.base);
+    let mst_build = timer.lap();
+
+    let mut counter = OpCounter::new();
+    let mut cur = ScoreGrid::identity(n);
+    let mut next = ScoreGrid::zeros(n);
+    let slots = in_plan.slots.max(out_plan.slots);
+    let mut pool: Vec<Vec<f64>> = (0..slots).map(|_| vec![0.0f64; n]).collect();
+    let mut outer = vec![0.0f64; n + 1];
+
+    for _ in 0..k_max {
+        next.clear();
+        // In-link half: accumulate λ·C/(..)·Σ into next.
+        half_pass(g, &in_plan, &cur, &mut next, &mut pool, &mut outer, opts.lambda * c, &mut counter);
+        // Out-link half accumulates on top.
+        half_pass(
+            &reversed,
+            &out_plan,
+            &cur,
+            &mut next,
+            &mut pool,
+            &mut outer,
+            (1.0 - opts.lambda) * c,
+            &mut counter,
+        );
+        next.set_diagonal(1.0);
+        std::mem::swap(&mut cur, &mut next);
+    }
+
+    let report = Report {
+        iterations: k_max,
+        adds: counter.total(),
+        mst_build,
+        share_sums: timer.lap(),
+        tree_weight: in_plan.tree_weight + out_plan.tree_weight,
+        d_eff: 0.5 * (in_plan.d_eff() + out_plan.d_eff()),
+        peak_intermediate_bytes: (slots * n + n + 1) * 8,
+        peak_live_buffers: slots,
+    };
+    (cur.to_sim_matrix(), report)
+}
+
+/// One direction's OIP pass, *adding* `factor/(d_u·d_w)·outer` into `next`.
+#[allow(clippy::too_many_arguments)]
+fn half_pass(
+    g: &DiGraph,
+    plan: &SharingPlan,
+    cur: &ScoreGrid,
+    next: &mut ScoreGrid,
+    pool: &mut [Vec<f64>],
+    outer: &mut [f64],
+    factor: f64,
+    counter: &mut OpCounter,
+) {
+    if factor == 0.0 {
+        return; // degenerate λ: skip the whole direction
+    }
+    let n = cur.order();
+    for step in &plan.schedule {
+        match *step {
+            Step::Scratch { t, slot } => {
+                let buf = &mut pool[slot as usize];
+                buf.fill(0.0);
+                let ins = g.in_neighbors(plan.targets[t as usize]);
+                for &x in ins {
+                    cur.add_row_into(x as usize, buf);
+                }
+                counter.add((ins.len() as u64 - 1) * n as u64);
+            }
+            Step::CopyUpdate { t, parent_slot, slot } => {
+                let (a, b) = (parent_slot as usize, slot as usize);
+                let (src, dst) = if a < b {
+                    let (lo, hi) = pool.split_at_mut(b);
+                    (&lo[a], &mut hi[0])
+                } else {
+                    let (lo, hi) = pool.split_at_mut(a);
+                    (&hi[0], &mut lo[b])
+                };
+                dst.copy_from_slice(src);
+                apply(cur, &plan.ops[t as usize], dst, counter, n);
+            }
+            Step::InPlace { t, slot } => {
+                apply(cur, &plan.ops[t as usize], &mut pool[slot as usize], counter, n);
+            }
+            Step::Emit { t, slot } => {
+                let u = plan.targets[t as usize] as usize;
+                let du = g.in_degree(u as u32) as f64;
+                let partial = &pool[slot as usize];
+                for &node in &plan.preorder {
+                    let wt = node as usize - 1;
+                    let val = match &plan.ops[wt] {
+                        EdgeOp::Scratch => {
+                            let ins = g.in_neighbors(plan.targets[wt]);
+                            counter.add((ins.len() as u64).saturating_sub(1));
+                            ins.iter().map(|&y| partial[y as usize]).sum()
+                        }
+                        EdgeOp::Update { sub, add } => {
+                            let parent = plan.arb.parent(node as usize).expect("non-root");
+                            let mut s = outer[parent];
+                            for &y in sub.iter() {
+                                s -= partial[y as usize];
+                            }
+                            for &y in add.iter() {
+                                s += partial[y as usize];
+                            }
+                            counter.add((sub.len() + add.len()) as u64);
+                            s
+                        }
+                    };
+                    outer[node as usize] = val;
+                    let w = plan.targets[wt] as usize;
+                    if w != u {
+                        let dw = g.in_degree(w as u32) as f64;
+                        let prev = next.get(u, w);
+                        next.set(u, w, prev + factor / (du * dw) * val);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Proposition 3 update against the current scores.
+fn apply(cur: &ScoreGrid, op: &EdgeOp, buf: &mut [f64], counter: &mut OpCounter, n: usize) {
+    match op {
+        EdgeOp::Scratch => unreachable!("scratch ops map to Scratch steps"),
+        EdgeOp::Update { sub, add } => {
+            for &x in sub.iter() {
+                cur.sub_row_from(x as usize, buf);
+            }
+            for &x in add.iter() {
+                cur.add_row_into(x as usize, buf);
+            }
+            counter.add((sub.len() + add.len()) as u64 * n as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oip::oip_simrank;
+    use simrank_graph::fixtures::paper_fig1a;
+    use simrank_graph::gen;
+
+    #[test]
+    fn lambda_one_recovers_simrank() {
+        let g = paper_fig1a();
+        let base = SimRankOptions::default().with_iterations(6);
+        let pr = prank(&g, &PRankOptions { base, lambda: 1.0 });
+        let sr = oip_simrank(&g, &base);
+        assert!(pr.max_abs_diff(&sr) < 1e-12);
+    }
+
+    #[test]
+    fn lambda_zero_is_simrank_on_reversed_graph() {
+        let g = paper_fig1a();
+        let base = SimRankOptions::default().with_iterations(6);
+        let pr = prank(&g, &PRankOptions { base, lambda: 0.0 });
+        let sr_rev = oip_simrank(&g.reverse(), &base);
+        assert!(pr.max_abs_diff(&sr_rev) < 1e-12);
+    }
+
+    #[test]
+    fn naive_prank_cross_check() {
+        // Direct double-sum P-Rank for one iteration on a small graph.
+        let g = gen::gnm(20, 60, 5);
+        let opts = PRankOptions {
+            base: SimRankOptions::default().with_iterations(1).with_damping(0.6),
+            lambda: 0.5,
+        };
+        let fast = prank(&g, &opts);
+        let n = g.node_count();
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                if a == b {
+                    continue;
+                }
+                let mut want = 0.0;
+                let (ia, ib) = (g.in_neighbors(a), g.in_neighbors(b));
+                if !ia.is_empty() && !ib.is_empty() {
+                    let mut sum = 0.0;
+                    for &i in ia {
+                        for &j in ib {
+                            if i == j {
+                                sum += 1.0;
+                            }
+                        }
+                    }
+                    want += 0.5 * 0.6 / (ia.len() * ib.len()) as f64 * sum;
+                }
+                let (oa, ob) = (g.out_neighbors(a), g.out_neighbors(b));
+                if !oa.is_empty() && !ob.is_empty() {
+                    let mut sum = 0.0;
+                    for &i in oa {
+                        for &j in ob {
+                            if i == j {
+                                sum += 1.0;
+                            }
+                        }
+                    }
+                    want += 0.5 * 0.6 / (oa.len() * ob.len()) as f64 * sum;
+                }
+                let got = fast.get(a as usize, b as usize);
+                assert!((got - want).abs() < 1e-12, "({a},{b}): {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_stay_in_unit_interval() {
+        let g = gen::coauthor_graph(gen::CoauthorParams::dblp_like(50), 2);
+        let pr = prank(
+            &g,
+            &PRankOptions { base: SimRankOptions::default().with_iterations(8), lambda: 0.4 },
+        );
+        for (a, b, v) in pr.iter_upper() {
+            assert!((0.0..=1.0 + 1e-12).contains(&v), "p({a},{b}) = {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn rejects_bad_lambda() {
+        let g = paper_fig1a();
+        let _ = prank(&g, &PRankOptions { base: SimRankOptions::default(), lambda: 1.5 });
+    }
+}

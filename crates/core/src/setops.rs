@@ -1,0 +1,120 @@
+//! Sorted-set primitives for in-neighbor sets.
+//!
+//! All in-neighbor slices coming from `simrank-graph` are sorted and
+//! duplicate-free, so intersection / difference / symmetric-difference are
+//! linear two-pointer merges. These are the set operations of the paper's
+//! Eq. (7) (transition costs) and Propositions 3–4 (partial-sum updates).
+
+use simrank_graph::NodeId;
+
+/// `|a ∩ b|` for sorted slices.
+pub fn intersection_size(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                k += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    k
+}
+
+/// `|a ⊖ b|` (symmetric difference) for sorted slices, without
+/// materializing the sets: `|a| + |b| − 2|a ∩ b|`.
+pub fn symmetric_difference_size(a: &[NodeId], b: &[NodeId]) -> usize {
+    a.len() + b.len() - 2 * intersection_size(a, b)
+}
+
+/// Splits the symmetric difference into `(a ∖ b, b ∖ a)` — the subtraction
+/// and addition lists of the Proposition 3 update
+/// `Partial_B = Partial_A − Σ_{x ∈ A∖B} s(x,·) + Σ_{x ∈ B∖A} s(x,·)`.
+pub fn difference_lists(a: &[NodeId], b: &[NodeId]) -> (Vec<NodeId>, Vec<NodeId>) {
+    let mut only_a = Vec::new();
+    let mut only_b = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                only_a.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                only_b.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    only_a.extend_from_slice(&a[i..]);
+    only_b.extend_from_slice(&b[j..]);
+    (only_a, only_b)
+}
+
+/// The paper's transition cost, Eq. (7):
+/// `TC(A → B) = min(|A ⊖ B|, |B| − 1)`.
+pub fn transition_cost(a: &[NodeId], b: &[NodeId]) -> u64 {
+    debug_assert!(!b.is_empty(), "targets of transition costs are non-empty sets");
+    let sym = symmetric_difference_size(a, b) as u64;
+    sym.min(b.len() as u64 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_basic() {
+        assert_eq!(intersection_size(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(intersection_size(&[], &[1]), 0);
+        assert_eq!(intersection_size(&[4], &[4]), 1);
+    }
+
+    #[test]
+    fn symmetric_difference_matches_paper_example() {
+        // Paper footnote 4: I(b) = {g,e,f,i}, I(d) = {e,f,i,a} →
+        // I(b) ⊖ I(d) = {g, a}, size 2. (Sorted ids from Fig. 1a: b=1,
+        // I(b) = {4,5,6,8}; d=3, I(d) = {0,4,5,8}.)
+        let ib = [4, 5, 6, 8];
+        let id = [0, 4, 5, 8];
+        assert_eq!(symmetric_difference_size(&ib, &id), 2);
+        let (only_b, only_d) = difference_lists(&ib, &id);
+        assert_eq!(only_b, vec![6]); // g
+        assert_eq!(only_d, vec![0]); // a
+    }
+
+    #[test]
+    fn transition_cost_eq7() {
+        // From Fig. 2b: TC(I(e) → I(b)) = 2 (sym-diff wins over |I(b)|-1=3).
+        let ie = [5, 6]; // I(e) = {f, g}
+        let ib = [4, 5, 6, 8]; // I(b) = {e, f, g, i}
+        assert_eq!(transition_cost(&ie, &ib), 2);
+        // TC(I(a) → I(b)) = 3 (from-scratch wins: sym-diff is 4).
+        let ia = [1, 6]; // I(a) = {b, g}
+        assert_eq!(transition_cost(&ia, &ib), 3);
+        // From the empty set: always |B| - 1.
+        assert_eq!(transition_cost(&[], &ib), 3);
+    }
+
+    #[test]
+    fn identical_sets_cost_zero() {
+        let s = [2, 4, 9];
+        assert_eq!(transition_cost(&s, &s), 0);
+        let (a, b) = difference_lists(&s, &s);
+        assert!(a.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    fn difference_lists_disjoint_sets() {
+        let (a, b) = difference_lists(&[1, 2], &[3, 4]);
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(b, vec![3, 4]);
+    }
+}

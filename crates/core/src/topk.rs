@@ -1,0 +1,79 @@
+//! Single-source rankings and top-k queries over similarity matrices.
+//!
+//! The paper's Fig. 6g/6h experiments issue single-source queries
+//! (`s(a, ·)` for a query author) and compare top-k rankings between
+//! algorithms. Ties are broken deterministically by vertex id so rankings
+//! are reproducible across algorithms and runs.
+
+use crate::matrix::SimMatrix;
+use simrank_graph::NodeId;
+
+/// The full ranking of all other vertices by similarity to `query`,
+/// descending, ties broken by ascending vertex id. The query vertex itself
+/// is excluded (its self-similarity is definitionally maximal and carries
+/// no information).
+pub fn rank_by_similarity(scores: &SimMatrix, query: NodeId) -> Vec<(NodeId, f64)> {
+    let n = scores.order();
+    let mut ranked: Vec<(NodeId, f64)> = (0..n as NodeId)
+        .filter(|&v| v != query)
+        .map(|v| (v, scores.get(query as usize, v as usize)))
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).expect("similarity scores are finite").then(a.0.cmp(&b.0))
+    });
+    ranked
+}
+
+/// The `k` most similar vertices to `query` (see [`rank_by_similarity`]).
+pub fn top_k(scores: &SimMatrix, query: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+    let mut ranked = rank_by_similarity(scores, query);
+    ranked.truncate(k);
+    ranked
+}
+
+/// The vertex ids of the top-k ranking only.
+pub fn top_k_ids(scores: &SimMatrix, query: NodeId, k: usize) -> Vec<NodeId> {
+    top_k(scores, query, k).into_iter().map(|(v, _)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimMatrix {
+        let mut m = SimMatrix::identity(5);
+        m.set(0, 1, 0.9);
+        m.set(0, 2, 0.5);
+        m.set(0, 3, 0.9);
+        m.set(0, 4, 0.1);
+        m
+    }
+
+    #[test]
+    fn ranking_sorted_with_deterministic_ties() {
+        let r = rank_by_similarity(&sample(), 0);
+        // 1 and 3 tie at 0.9: lower id first.
+        assert_eq!(r.iter().map(|&(v, _)| v).collect::<Vec<_>>(), vec![1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn query_vertex_excluded() {
+        let r = rank_by_similarity(&sample(), 0);
+        assert!(r.iter().all(|&(v, _)| v != 0));
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        assert_eq!(top_k_ids(&sample(), 0, 2), vec![1, 3]);
+        assert_eq!(top_k_ids(&sample(), 0, 100).len(), 4);
+    }
+
+    #[test]
+    fn symmetric_queries() {
+        // Ranking from vertex 1's perspective sees s(1, 0) = 0.9.
+        let r = rank_by_similarity(&sample(), 1);
+        assert_eq!(r[0].0, 0);
+        assert!((r[0].1 - 0.9).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests: all SimRank implementations agree and respect the
+//! axioms on arbitrary random graphs.
+
+use proptest::prelude::*;
+use simrank_core::{
+    convergence, dsr::oip_dsr_simrank, matrixform, naive::naive_simrank, oip::oip_simrank,
+    psum::psum_simrank, setops, CostModel, SimRankOptions,
+};
+use simrank_graph::{DiGraph, NodeId};
+
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (4usize..24).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..(4 * n))
+            .prop_map(move |edges| DiGraph::from_edges(n, edges).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// naive == psum == OIP (inner+outer sharing) on arbitrary graphs.
+    #[test]
+    fn all_conventional_variants_agree(g in arb_graph(), k in 1u32..6, c in 0.2f64..0.9) {
+        let opts = SimRankOptions::default().with_damping(c).with_iterations(k);
+        let a = naive_simrank(&g, &opts);
+        let b = psum_simrank(&g, &opts);
+        let d = oip_simrank(&g, &opts);
+        prop_assert!(a.max_abs_diff(&b) < 1e-10);
+        prop_assert!(a.max_abs_diff(&d) < 1e-10);
+    }
+
+    /// SimRank axioms: s(a,a)=1, 0 ≤ s ≤ 1, rows of in-degree-0 vertices
+    /// vanish off-diagonal.
+    #[test]
+    fn simrank_axioms(g in arb_graph(), k in 1u32..8) {
+        let opts = SimRankOptions::default().with_iterations(k);
+        let s = oip_simrank(&g, &opts);
+        let n = g.node_count();
+        for a in 0..n {
+            prop_assert!((s.get(a, a) - 1.0).abs() < 1e-12);
+            for b in 0..n {
+                let v = s.get(a, b);
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+                if a != b && g.in_degree(a as NodeId) == 0 {
+                    prop_assert!(v.abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Iterates increase monotonically toward the fixed point (Eq. 2 is a
+    /// monotone map from S₀ = I on the off-diagonal... in fact entrywise).
+    #[test]
+    fn iterates_monotone(g in arb_graph(), c in 0.3f64..0.8) {
+        let s2 = oip_simrank(&g, &SimRankOptions::default().with_damping(c).with_iterations(2));
+        let s4 = oip_simrank(&g, &SimRankOptions::default().with_damping(c).with_iterations(4));
+        for a in 0..g.node_count() {
+            for b in 0..g.node_count() {
+                prop_assert!(s4.get(a, b) + 1e-12 >= s2.get(a, b));
+            }
+        }
+    }
+
+    /// Lizorkin residual bound: ‖S_k − S_ref‖ ≤ C^{k+1} with S_ref deep.
+    #[test]
+    fn geometric_bound_holds(g in arb_graph(), c in 0.3f64..0.8) {
+        let deep = oip_simrank(&g, &SimRankOptions::default().with_damping(c).with_iterations(60));
+        for k in [1u32, 3, 5] {
+            let s = oip_simrank(&g, &SimRankOptions::default().with_damping(c).with_iterations(k));
+            let err = s.max_abs_diff(&deep);
+            prop_assert!(err <= convergence::geometric_residual(c, k) + 1e-12);
+        }
+    }
+
+    /// Proposition 7 residual bound for the differential model.
+    #[test]
+    fn differential_bound_holds(g in arb_graph(), c in 0.3f64..0.9) {
+        let deep =
+            oip_dsr_simrank(&g, &SimRankOptions::default().with_damping(c).with_iterations(25));
+        for k in [1u32, 2, 4] {
+            let s =
+                oip_dsr_simrank(&g, &SimRankOptions::default().with_damping(c).with_iterations(k));
+            let err = s.max_abs_diff(&deep);
+            prop_assert!(err <= convergence::differential_residual(c, k) + 1e-12);
+        }
+    }
+
+    /// OIP-DSR equals the dense Eq. 15 reference.
+    #[test]
+    fn dsr_matches_reference(g in arb_graph(), k in 1u32..6, c in 0.3f64..0.9) {
+        let opts = SimRankOptions::default().with_damping(c).with_iterations(k);
+        let fast = oip_dsr_simrank(&g, &opts);
+        let reference = matrixform::dsr_matrix_reference(&g, c, k);
+        prop_assert!(fast.max_abs_diff(&reference) < 1e-10);
+    }
+
+    /// Cost-model and MST-algorithm ablations never change the *scores*.
+    #[test]
+    fn ablations_preserve_scores(g in arb_graph(), k in 1u32..5) {
+        let base = SimRankOptions::default().with_iterations(k);
+        let reference = oip_simrank(&g, &base);
+        for opts in [
+            base.with_cost_model(CostModel::ScratchOnly),
+            base.with_cost_model(CostModel::SymDiffOnly),
+            base.with_edmonds(true),
+            base.with_outer_sharing(false),
+        ] {
+            prop_assert!(oip_simrank(&g, &opts).max_abs_diff(&reference) < 1e-10);
+        }
+    }
+
+    /// Transition costs are consistent with the materialized difference
+    /// lists: |sub| + |add| = |A ⊖ B|.
+    #[test]
+    fn difference_lists_consistent(
+        a in proptest::collection::btree_set(0u32..40, 1..12),
+        b in proptest::collection::btree_set(0u32..40, 1..12),
+    ) {
+        let a: Vec<NodeId> = a.into_iter().collect();
+        let b: Vec<NodeId> = b.into_iter().collect();
+        let (sub, add) = setops::difference_lists(&a, &b);
+        prop_assert_eq!(sub.len() + add.len(), setops::symmetric_difference_size(&a, &b));
+        for x in &sub {
+            prop_assert!(a.contains(x) && !b.contains(x));
+        }
+        for x in &add {
+            prop_assert!(b.contains(x) && !a.contains(x));
+        }
+    }
+
+    /// Lambert-W satisfies its defining identity on a wide domain.
+    #[test]
+    fn lambert_identity(x in 0.001f64..1000.0) {
+        let w = convergence::lambert_w0(x);
+        prop_assert!((w * w.exp() - x).abs() < 1e-8 * x.max(1.0));
+    }
+}

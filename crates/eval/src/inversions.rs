@@ -1,0 +1,87 @@
+//! Inversion counts between rankings.
+//!
+//! The paper's Fig. 6h observes that the `OIP-DSR` top-30 list "merely
+//! differs in one inversion at two adjacent positions" from `OIP-SR`'s.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Number of *adjacent transpositions* needed to turn `a` into `b`
+/// (i.e. the Kendall tau distance restricted to items present in both),
+/// which is exactly the count of pairwise order disagreements.
+pub fn kendall_tau_distance<I: Eq + Hash + Copy>(a: &[I], b: &[I]) -> usize {
+    let pos_b: HashMap<I, usize> = b.iter().copied().enumerate().map(|(i, x)| (x, i)).collect();
+    // Project a onto b's positions, skipping items absent from b.
+    let projected: Vec<usize> = a.iter().filter_map(|x| pos_b.get(x).copied()).collect();
+    let mut inversions = 0;
+    for i in 0..projected.len() {
+        for j in (i + 1)..projected.len() {
+            if projected[i] > projected[j] {
+                inversions += 1;
+            }
+        }
+    }
+    inversions
+}
+
+/// Number of *immediately adjacent* position swaps between two rankings of
+/// the same item set: pairs `(i, i+1)` in `a` that appear as `(i+1, i)`
+/// consecutively in `b`. This is the narrow "one inversion at two adjacent
+/// positions" phenomenon Fig. 6h reports.
+pub fn adjacent_inversions<I: Eq + Hash + Copy>(a: &[I], b: &[I]) -> usize {
+    let pos_b: HashMap<I, usize> = b.iter().copied().enumerate().map(|(i, x)| (x, i)).collect();
+    a.windows(2)
+        .filter(|w| {
+            match (pos_b.get(&w[0]), pos_b.get(&w[1])) {
+                // a has (x, y) adjacent; b has them adjacent but flipped.
+                (Some(&px), Some(&py)) => py + 1 == px,
+                _ => false,
+            }
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_have_no_inversions() {
+        let a = [1, 2, 3, 4];
+        assert_eq!(kendall_tau_distance(&a, &a), 0);
+        assert_eq!(adjacent_inversions(&a, &a), 0);
+    }
+
+    #[test]
+    fn one_adjacent_swap() {
+        // The Fig. 6h situation: positions #23/#24 swapped.
+        let a = [1, 2, 3, 4];
+        let b = [1, 3, 2, 4];
+        assert_eq!(kendall_tau_distance(&a, &b), 1);
+        assert_eq!(adjacent_inversions(&a, &b), 1);
+    }
+
+    #[test]
+    fn full_reversal() {
+        let a = [1, 2, 3, 4];
+        let b = [4, 3, 2, 1];
+        assert_eq!(kendall_tau_distance(&a, &b), 6);
+        // Every adjacent pair is flipped.
+        assert_eq!(adjacent_inversions(&a, &b), 3);
+    }
+
+    #[test]
+    fn items_missing_from_one_list_ignored() {
+        let a = [1, 9, 2, 3];
+        let b = [1, 2, 3];
+        assert_eq!(kendall_tau_distance(&a, &b), 0);
+    }
+
+    #[test]
+    fn distant_swap_is_not_adjacent() {
+        let a = [1, 2, 3, 4];
+        let b = [4, 2, 3, 1];
+        assert!(kendall_tau_distance(&a, &b) > 0);
+        assert_eq!(adjacent_inversions(&a, &b), 0);
+    }
+}

@@ -1,0 +1,15 @@
+//! Ranking-quality metrics for SimRank evaluation.
+//!
+//! The paper's Exp-4 (Fig. 6g/6h) compares the *relative order* of
+//! similarity scores between `OIP-DSR` and `OIP-SR` using NDCG against a
+//! ground-truth ranking, and counts adjacent inversions in top-30 lists.
+//! This crate implements those metrics plus the standard rank-correlation
+//! measures used to sanity-check them.
+
+mod inversions;
+mod ndcg;
+mod rank;
+
+pub use inversions::{adjacent_inversions, kendall_tau_distance};
+pub use ndcg::{dcg_at, ndcg_at, ndcg_from_grades};
+pub use rank::{kendall_tau, spearman_rho, top_k_overlap};

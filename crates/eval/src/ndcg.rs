@@ -1,0 +1,103 @@
+//! Normalized Discounted Cumulative Gain.
+//!
+//! The paper defines `NDCG_p = (1/IDCG_p)·Σ_{i=1..p} (2^{rank_i} − 1) /
+//! log₂(1 + i)` where `rank_i` is the graded relevance of the item the
+//! evaluated ranking places at position `i`, and `IDCG_p` normalizes by the
+//! ideal ordering.
+
+/// DCG at cutoff `p` for a list of graded relevances *in ranked order*.
+pub fn dcg_at(grades_in_rank_order: &[f64], p: usize) -> f64 {
+    grades_in_rank_order
+        .iter()
+        .take(p)
+        .enumerate()
+        .map(|(i, &g)| (2f64.powf(g) - 1.0) / ((i as f64 + 2.0).log2()))
+        .sum()
+}
+
+/// NDCG at cutoff `p` given the evaluated ranking's grades (in its own
+/// order) and the full grade pool to derive the ideal ranking from.
+pub fn ndcg_from_grades(grades_in_rank_order: &[f64], all_grades: &[f64], p: usize) -> f64 {
+    let dcg = dcg_at(grades_in_rank_order, p);
+    let mut ideal: Vec<f64> = all_grades.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).expect("finite grades"));
+    let idcg = dcg_at(&ideal, p);
+    if idcg == 0.0 {
+        // Degenerate: no relevant items at all; any ranking is "ideal".
+        1.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// NDCG at cutoff `p` for an item ranking against a grading function.
+///
+/// `ranking` is the evaluated order of item ids; `grade(id)` returns the
+/// ground-truth relevance of an item. The ideal ranking is derived from the
+/// grades of the *same candidate pool* (the items in `ranking`), matching
+/// how the paper grades top-p query results.
+pub fn ndcg_at<I: Copy>(ranking: &[I], grade: impl Fn(I) -> f64, p: usize) -> f64 {
+    let grades: Vec<f64> = ranking.iter().map(|&i| grade(i)).collect();
+    ndcg_from_grades(&grades, &grades, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let grades = [3.0, 2.0, 1.0, 0.0];
+        assert!((ndcg_from_grades(&grades, &grades, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking_scores_below_one() {
+        let ranked = [0.0, 1.0, 2.0, 3.0];
+        let v = ndcg_from_grades(&ranked, &ranked, 4);
+        assert!(v < 1.0);
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn dcg_discounts_by_position() {
+        // A relevant item at rank 1 is worth log2(3)/log2(2) ≈ 1.585× the
+        // same item at rank 2.
+        let first = dcg_at(&[1.0, 0.0], 2);
+        let second = dcg_at(&[0.0, 1.0], 2);
+        assert!((first / second - 3f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cutoff_respected() {
+        let grades = [3.0, 0.0, 0.0, 3.0];
+        // At p=2 the trailing relevant item is invisible.
+        assert_eq!(dcg_at(&grades, 2), dcg_at(&[3.0, 0.0], 2));
+    }
+
+    #[test]
+    fn ndcg_with_grade_function() {
+        // Items 10 and 20; ground truth prefers 20.
+        let grade = |i: u32| if i == 20 { 2.0 } else { 1.0 };
+        let good = ndcg_at(&[20u32, 10], grade, 2);
+        let bad = ndcg_at(&[10u32, 20], grade, 2);
+        assert!((good - 1.0).abs() < 1e-12);
+        assert!(bad < 1.0);
+    }
+
+    #[test]
+    fn all_zero_grades_degenerate() {
+        assert_eq!(ndcg_from_grades(&[0.0, 0.0], &[0.0, 0.0], 2), 1.0);
+    }
+
+    #[test]
+    fn single_swap_close_to_one() {
+        // Swapping two adjacent mid-list items barely moves NDCG — the
+        // regime of the paper's "only 1% loss" observation.
+        let ideal = [4.0, 3.0, 2.9, 2.0, 1.0, 0.5, 0.2, 0.1];
+        let mut swapped = ideal;
+        swapped.swap(4, 5);
+        let v = ndcg_from_grades(&swapped, &ideal, 8);
+        assert!(v > 0.99, "adjacent swap cost too much: {v}");
+    }
+}

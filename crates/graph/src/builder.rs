@@ -1,0 +1,135 @@
+//! Mutable edge accumulator producing [`DiGraph`]s.
+
+use crate::digraph::DiGraph;
+use crate::types::{GraphError, NodeId};
+
+/// Accumulates edges for a fixed vertex count and builds a [`DiGraph`].
+///
+/// All generators in [`crate::gen`] emit through this type so that edge
+/// deduplication and validation live in exactly one place.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    allow_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// New builder over `node_count` vertices. Self-loops are dropped by
+    /// default (none of the paper's networks contain them); use
+    /// [`GraphBuilder::keep_self_loops`] to retain them.
+    pub fn new(node_count: usize) -> Self {
+        GraphBuilder { node_count, edges: Vec::new(), allow_self_loops: false }
+    }
+
+    /// Pre-sizes the edge buffer.
+    pub fn with_edge_capacity(node_count: usize, edges: usize) -> Self {
+        GraphBuilder {
+            node_count,
+            edges: Vec::with_capacity(edges),
+            allow_self_loops: false,
+        }
+    }
+
+    /// Keep self-loops instead of silently dropping them.
+    pub fn keep_self_loops(mut self) -> Self {
+        self.allow_self_loops = true;
+        self
+    }
+
+    /// Number of vertices this builder targets.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges accumulated so far (before deduplication).
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a directed edge `u -> v`. Out-of-range endpoints panic in debug
+    /// builds and are validated again (as an error) at [`build`] time via
+    /// [`DiGraph::from_edges`]; generators always stay in range.
+    ///
+    /// [`build`]: GraphBuilder::build
+    #[inline]
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!((u as usize) < self.node_count && (v as usize) < self.node_count);
+        if u == v && !self.allow_self_loops {
+            return;
+        }
+        self.edges.push((u, v));
+    }
+
+    /// Adds every edge in the iterator.
+    pub fn extend_edges(&mut self, it: impl IntoIterator<Item = (NodeId, NodeId)>) {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Whether `u -> v` was already added (linear scan; test helper).
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edges.contains(&(u, v))
+    }
+
+    /// Builds the graph, panicking on invalid edges.
+    ///
+    /// Generators use this; they construct in-range edges by design.
+    pub fn build(self) -> DiGraph {
+        self.try_build().expect("GraphBuilder produced invalid edges")
+    }
+
+    /// Builds the graph, surfacing validation errors.
+    pub fn try_build(self) -> Result<DiGraph, GraphError> {
+        DiGraph::from_edges(self.node_count, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(1, 1);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn self_loops_kept_on_request() {
+        let mut b = GraphBuilder::new(3).keep_self_loops();
+        b.add_edge(1, 1);
+        let g = b.build();
+        assert!(g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn extend_and_dedup() {
+        let mut b = GraphBuilder::with_edge_capacity(4, 8);
+        b.extend_edges([(0, 1), (0, 1), (1, 2), (2, 3)]);
+        assert_eq!(b.raw_edge_count(), 4);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn try_build_reports_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        // Bypass the debug assertion by constructing edges directly.
+        b.edges.push((0, 9));
+        assert!(b.try_build().is_err());
+    }
+
+    #[test]
+    fn contains_edge_sees_pending_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        assert!(b.contains_edge(0, 1));
+        assert!(!b.contains_edge(1, 0));
+    }
+}

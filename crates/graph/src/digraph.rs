@@ -1,0 +1,256 @@
+//! Immutable CSR directed graph with both adjacency orientations.
+
+use crate::types::{GraphError, NodeId};
+
+/// A directed graph in compressed sparse row form.
+///
+/// Both orientations are materialized because SimRank consumes in-neighbor
+/// sets (`I(a)` in the paper) in every inner loop, while builders and
+/// traversals want out-neighbors. Neighbor lists are sorted ascending and
+/// deduplicated, which makes the set operations at the heart of `OIP-SR`
+/// (symmetric difference, intersection — Propositions 3 and 4 of the paper)
+/// linear two-pointer merges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiGraph {
+    /// `out_offsets[v]..out_offsets[v+1]` indexes `out_targets`.
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    /// `in_offsets[v]..in_offsets[v+1]` indexes `in_sources`.
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+}
+
+impl DiGraph {
+    /// Builds a graph from `node_count` vertices and an edge list.
+    ///
+    /// Parallel edges are collapsed; self-loops are kept (SimRank is defined
+    /// on arbitrary digraphs). Errors if an endpoint is out of range.
+    pub fn from_edges(
+        node_count: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Result<Self, GraphError> {
+        if node_count > NodeId::MAX as usize {
+            return Err(GraphError::TooManyNodes(node_count));
+        }
+        let mut list: Vec<(NodeId, NodeId)> = edges.into_iter().collect();
+        for &(u, v) in &list {
+            for node in [u, v] {
+                if node as usize >= node_count {
+                    return Err(GraphError::NodeOutOfRange { node, node_count });
+                }
+            }
+        }
+        list.sort_unstable();
+        list.dedup();
+        Ok(Self::from_sorted_dedup_edges(node_count, &list))
+    }
+
+    /// Internal constructor from a sorted, deduplicated edge list.
+    fn from_sorted_dedup_edges(node_count: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let m = edges.len();
+        let mut out_offsets = vec![0usize; node_count + 1];
+        let mut in_offsets = vec![0usize; node_count + 1];
+        for &(u, v) in edges {
+            out_offsets[u as usize + 1] += 1;
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..node_count {
+            out_offsets[i + 1] += out_offsets[i];
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut out_targets = vec![0 as NodeId; m];
+        let mut in_sources = vec![0 as NodeId; m];
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        for &(u, v) in edges {
+            out_targets[out_cursor[u as usize]] = v;
+            out_cursor[u as usize] += 1;
+            in_sources[in_cursor[v as usize]] = u;
+            in_cursor[v as usize] += 1;
+        }
+        // Edge list is sorted by (u, v), so out lists come out sorted; in
+        // lists are filled in increasing source order, hence also sorted.
+        DiGraph { out_offsets, out_targets, in_offsets, in_sources }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of (deduplicated) directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.out_targets[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// In-neighbors of `v` (the paper's `I(v)`), sorted ascending.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// `|I(v)|`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.in_offsets[v + 1] - self.in_offsets[v]
+    }
+
+    /// `|O(v)|`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.out_offsets[v + 1] - self.out_offsets[v]
+    }
+
+    /// Whether the edge `u -> v` exists (binary search on the out list).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Average in-degree `d = m / n` (the paper's density parameter).
+    pub fn avg_in_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Iterates all edges as `(source, target)` in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.node_count() as NodeId)
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Iterates all vertex ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.node_count() as NodeId
+    }
+
+    /// The reverse graph (every edge flipped).
+    pub fn reverse(&self) -> DiGraph {
+        DiGraph {
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_sources.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_sources: self.out_targets.clone(),
+        }
+    }
+
+    /// Vertices with non-empty in-neighbor sets, in id order.
+    ///
+    /// These are exactly the vertices that participate in the paper's
+    /// transition-cost graph `G*` (plus the synthetic root `∅`).
+    pub fn nodes_with_in_edges(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.in_degree(v) > 0).collect()
+    }
+
+    /// Approximate heap footprint in bytes (CSR arrays only).
+    pub fn heap_bytes(&self) -> usize {
+        self.out_offsets.len() * std::mem::size_of::<usize>()
+            + self.in_offsets.len() * std::mem::size_of::<usize>()
+            + self.out_targets.len() * std::mem::size_of::<NodeId>()
+            + self.in_sources.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn neighbor_lists_sorted() {
+        let g = DiGraph::from_edges(5, [(4, 0), (1, 0), (3, 0), (2, 0)]).unwrap();
+        assert_eq!(g.in_neighbors(0), &[1, 2, 3, 4]);
+        for v in 0..5 {
+            let ns = g.out_neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn parallel_edges_dedup() {
+        let g = DiGraph::from_edges(3, [(0, 1), (0, 1), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn self_loop_kept() {
+        let g = DiGraph::from_edges(2, [(0, 0), (0, 1)]).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.in_neighbors(0), &[0]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = DiGraph::from_edges(2, [(0, 5)]).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 5, node_count: 2 });
+    }
+
+    #[test]
+    fn reverse_flips_edges() {
+        let g = diamond();
+        let r = g.reverse();
+        assert_eq!(r.in_neighbors(0), &[1, 2]);
+        assert_eq!(r.out_neighbors(3), &[1, 2]);
+        assert_eq!(r.reverse(), g);
+    }
+
+    #[test]
+    fn has_edge_works() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(3, 3));
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        let g2 = DiGraph::from_edges(4, edges).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn avg_in_degree_matches_m_over_n() {
+        let g = diamond();
+        assert!((g.avg_in_degree() - 1.0).abs() < 1e-12);
+        let empty = DiGraph::from_edges(0, []).unwrap();
+        assert_eq!(empty.avg_in_degree(), 0.0);
+    }
+
+    #[test]
+    fn nodes_with_in_edges_excludes_sources() {
+        let g = diamond();
+        assert_eq!(g.nodes_with_in_edges(), vec![1, 2, 3]);
+    }
+}

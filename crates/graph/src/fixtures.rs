@@ -1,0 +1,120 @@
+//! Pinned fixture graphs taken from the paper.
+
+use crate::digraph::DiGraph;
+use crate::types::NodeId;
+
+/// Vertex indices of the paper-citation network of Fig. 1a, in the paper's
+/// lettering. The graph has 9 vertices `a..i`.
+pub mod fig1a {
+    use super::NodeId;
+    /// Vertex `a`.
+    pub const A: NodeId = 0;
+    /// Vertex `b`.
+    pub const B: NodeId = 1;
+    /// Vertex `c`.
+    pub const C: NodeId = 2;
+    /// Vertex `d`.
+    pub const D: NodeId = 3;
+    /// Vertex `e`.
+    pub const E: NodeId = 4;
+    /// Vertex `f`.
+    pub const F: NodeId = 5;
+    /// Vertex `g`.
+    pub const G: NodeId = 6;
+    /// Vertex `h`.
+    pub const H: NodeId = 7;
+    /// Vertex `i`.
+    pub const I: NodeId = 8;
+    /// Letter label of each vertex, by index.
+    pub const LABELS: [&str; 9] = ["a", "b", "c", "d", "e", "f", "g", "h", "i"];
+}
+
+/// The paper-citation network of the paper's Fig. 1a / Fig. 2a.
+///
+/// The in-neighbor sets match the paper's Fig. 2a exactly:
+///
+/// | vertex | `I(·)` |
+/// |---|---|
+/// | a | {b, g} |
+/// | e | {f, g} |
+/// | h | {b, d} |
+/// | c | {b, d, g} |
+/// | b | {f, g, e, i} |
+/// | d | {f, a, e, i} |
+///
+/// Vertices f, g, i have empty in-neighbor sets. This fixture pins down the
+/// transition-cost table (Fig. 2b), the minimum spanning tree (Fig. 2c/2d),
+/// and the in-neighbor partitions (Fig. 3a) in the workspace tests.
+pub fn paper_fig1a() -> DiGraph {
+    use fig1a::*;
+    let edges = [
+        // I(a) = {b, g}
+        (B, A),
+        (G, A),
+        // I(e) = {f, g}
+        (F, E),
+        (G, E),
+        // I(h) = {b, d}
+        (B, H),
+        (D, H),
+        // I(c) = {b, d, g}
+        (B, C),
+        (D, C),
+        (G, C),
+        // I(b) = {f, g, e, i}
+        (F, B),
+        (G, B),
+        (E, B),
+        (I, B),
+        // I(d) = {f, a, e, i}
+        (F, D),
+        (A, D),
+        (E, D),
+        (I, D),
+    ];
+    DiGraph::from_edges(9, edges).expect("fixture edges are valid")
+}
+
+/// A tiny two-triangle graph handy for quick unit tests.
+pub fn two_triangles() -> DiGraph {
+    DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+        .expect("fixture edges are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fig1a::*;
+    use super::*;
+
+    #[test]
+    fn fig2a_in_neighbor_sets() {
+        let g = paper_fig1a();
+        assert_eq!(g.in_neighbors(A), &[B, G]);
+        assert_eq!(g.in_neighbors(E), &[F, G]);
+        assert_eq!(g.in_neighbors(H), &[B, D]);
+        assert_eq!(g.in_neighbors(C), &[B, D, G]);
+        // Sorted ascending: e=4 < f=5 < g=6 < i=8.
+        assert_eq!(g.in_neighbors(B), &[E, F, G, I]);
+        assert_eq!(g.in_neighbors(D), &[A, E, F, I]);
+        for v in [F, G, I] {
+            assert_eq!(g.in_degree(v), 0, "vertex {v} must be a source");
+        }
+    }
+
+    #[test]
+    fn fig1a_counts() {
+        let g = paper_fig1a();
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.edge_count(), 17);
+        assert_eq!(g.nodes_with_in_edges().len(), 6);
+    }
+
+    #[test]
+    fn two_triangles_is_regular() {
+        let g = two_triangles();
+        for v in g.nodes() {
+            assert_eq!(g.in_degree(v), 1);
+            assert_eq!(g.out_degree(v), 1);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Time-ordered citation DAG with prior-art blocks (PATENT-like stand-in).
+//!
+//! Patents arrive in time order and cite only earlier patents. Two
+//! empirically dominant effects are modeled:
+//!
+//! * *prior-art block copying* — a new patent in a technology class lifts
+//!   most of its citation list from a recent same-class patent (examiner
+//!   boilerplate / continuation filings). Because copiers insert themselves
+//!   into the in-neighbor set of every patent on the copied list, the cited
+//!   patents of one class end up with heavily overlapping in-sets — the
+//!   moderate-sharing regime behind the paper's 2.7× PATENT speedup;
+//! * *preferential + recency attachment* for the non-copied citations
+//!   ("citation classics" and the recency window).
+//!
+//! The result is a DAG with low average degree (PATENT: d ≈ 4.4).
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::types::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the citation model.
+#[derive(Clone, Copy, Debug)]
+pub struct CitationParams {
+    /// Number of patents.
+    pub nodes: usize,
+    /// Mean citations made per patent.
+    pub citations_per_node: f64,
+    /// Number of technology classes.
+    pub classes: usize,
+    /// Probability a new patent copies a same-class prior-art block.
+    pub block_copy_prob: f64,
+    /// Fraction of the prototype's citation list copied.
+    pub block_frac: f64,
+    /// Probability a fresh citation is preferential (vs recency-uniform).
+    pub preferential_prob: f64,
+    /// Recency window as a fraction of the current time index.
+    pub recency_window: f64,
+}
+
+impl CitationParams {
+    /// Defaults matched to PATENT's statistics (avg degree ≈ 4.4) and its
+    /// measured sharing behaviour (the paper's 2.7× OIP speedup).
+    pub fn patent_like(nodes: usize) -> Self {
+        CitationParams {
+            nodes,
+            citations_per_node: 4.4,
+            classes: (nodes / 60).max(4),
+            block_copy_prob: 0.85,
+            block_frac: 0.95,
+            preferential_prob: 0.55,
+            recency_window: 0.2,
+        }
+    }
+}
+
+/// Samples a citation DAG. Edge direction is `citing -> cited`, so `I(p)`
+/// is the set of patents citing `p`.
+pub fn citation_dag(params: CitationParams, seed: u64) -> DiGraph {
+    let n = params.nodes;
+    assert!(n >= 2, "citation model needs at least two patents");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder =
+        GraphBuilder::with_edge_capacity(n, (n as f64 * params.citations_per_node) as usize);
+    // Citation lists kept for block copying; class assignment per patent.
+    let mut cites: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut class_of: Vec<u32> = Vec::with_capacity(n);
+    // Recent patents per class (ring of the last few).
+    let mut recent_in_class: Vec<Vec<usize>> = vec![Vec::new(); params.classes];
+    // Preferential mass: one slot per received citation plus a base slot.
+    let mut mass: Vec<NodeId> = vec![0];
+    let mut scratch: Vec<NodeId> = Vec::with_capacity(8);
+
+    for v in 0..n {
+        let class = rng.gen_range(0..params.classes);
+        class_of.push(class as u32);
+        if v == 0 {
+            recent_in_class[class].push(0);
+            continue;
+        }
+        let count = sample_count(&mut rng, params.citations_per_node).min(v);
+        scratch.clear();
+        // Prior-art block: copy most of a recent same-class patent's list.
+        let pool = &recent_in_class[class];
+        if !pool.is_empty() && rng.gen::<f64>() < params.block_copy_prob {
+            let proto = pool[rng.gen_range(0..pool.len())];
+            let list = &cites[proto];
+            let want = ((params.block_frac * list.len() as f64).round() as usize)
+                .min(list.len())
+                .min(count);
+            if want > 0 {
+                let start = rng.gen_range(0..=(list.len() - want));
+                for &t in &list[start..start + want] {
+                    if !scratch.contains(&t) {
+                        scratch.push(t);
+                    }
+                }
+            }
+            // The prototype itself is highly likely to be cited too
+            // (continuations cite their parent).
+            let proto_id = proto as NodeId;
+            if scratch.len() < count && !scratch.contains(&proto_id) {
+                scratch.push(proto_id);
+            }
+        }
+        // Fresh citations: preferential or recency-window uniform.
+        let mut guard = 0;
+        while scratch.len() < count && guard < 100 * count.max(1) {
+            guard += 1;
+            let t: NodeId = if rng.gen::<f64>() < params.preferential_prob {
+                mass[rng.gen_range(0..mass.len())]
+            } else {
+                let window = ((v as f64 * params.recency_window).ceil() as usize).max(1);
+                let lo = v.saturating_sub(window);
+                rng.gen_range(lo..v) as NodeId
+            };
+            if !scratch.contains(&t) {
+                scratch.push(t);
+            }
+        }
+        for &t in &scratch {
+            builder.add_edge(v as NodeId, t);
+            mass.push(t);
+        }
+        mass.push(v as NodeId);
+        scratch.sort_unstable();
+        cites[v] = scratch.clone();
+        let pool = &mut recent_in_class[class];
+        pool.push(v);
+        if pool.len() > 6 {
+            pool.remove(0);
+        }
+    }
+    builder.build()
+}
+
+/// Small integer draw with the given mean: `floor(mean)` plus a Bernoulli
+/// for the fractional part, then ±1 jitter clamped at 0.
+fn sample_count(rng: &mut StdRng, mean: f64) -> usize {
+    let base = mean.floor() as usize;
+    let frac = mean - mean.floor();
+    let mut c = base + usize::from(rng.gen::<f64>() < frac);
+    match rng.gen_range(0..4) {
+        0 => c = c.saturating_sub(1),
+        1 => c += 1,
+        _ => {}
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+    use crate::traversal::is_dag;
+
+    #[test]
+    fn produces_a_dag() {
+        let g = citation_dag(CitationParams::patent_like(500), 3);
+        assert!(is_dag(&g), "citation graph must be acyclic");
+    }
+
+    #[test]
+    fn edges_point_backward_in_time() {
+        let g = citation_dag(CitationParams::patent_like(200), 1);
+        for (u, v) in g.edges() {
+            assert!(v < u, "edge {u}->{v} must cite an earlier patent");
+        }
+    }
+
+    #[test]
+    fn average_degree_matches_patent() {
+        let g = citation_dag(CitationParams::patent_like(2000), 9);
+        let s = DegreeStats::of(&g);
+        assert!(
+            (s.avg_degree - 4.4).abs() < 0.9,
+            "avg degree {} should be near 4.4",
+            s.avg_degree
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = CitationParams::patent_like(300);
+        assert_eq!(citation_dag(p, 5), citation_dag(p, 5));
+        assert_ne!(citation_dag(p, 5), citation_dag(p, 6));
+    }
+
+    #[test]
+    fn classics_attract_citations() {
+        let g = citation_dag(CitationParams::patent_like(1500), 2);
+        let s = DegreeStats::of(&g);
+        assert!(s.max_in_degree >= 15, "expected a citation classic, max={}", s.max_in_degree);
+    }
+
+    #[test]
+    fn block_copying_creates_in_set_overlap() {
+        // Compare the *relative* transition-cost ratio (best achievable
+        // cost over from-scratch cost, aggregated over all cited patents):
+        // block copying must shrink it clearly versus the no-copying
+        // variant of the same model.
+        let base = CitationParams::patent_like(800);
+        let with = citation_dag(base, 4);
+        let without = citation_dag(CitationParams { block_copy_prob: 0.0, ..base }, 4);
+        let cost_ratio = |g: &DiGraph| -> f64 {
+            let targets: Vec<NodeId> = g.nodes().filter(|&v| g.in_degree(v) >= 1).collect();
+            let mut best_total = 0usize;
+            let mut scratch_total = 0usize;
+            for (i, &v) in targets.iter().enumerate() {
+                let sv = g.in_neighbors(v);
+                let scratch = sv.len() - 1;
+                let best = targets
+                    .iter()
+                    .take(i)
+                    .map(|&u| {
+                        let su = g.in_neighbors(u);
+                        su.len() + sv.len()
+                            - 2 * su.iter().filter(|x| sv.binary_search(x).is_ok()).count()
+                    })
+                    .min()
+                    .unwrap_or(scratch);
+                best_total += best.min(scratch);
+                scratch_total += scratch;
+            }
+            best_total as f64 / scratch_total.max(1) as f64
+        };
+        let a = cost_ratio(&with);
+        let b = cost_ratio(&without);
+        // The margin widens with scale (larger class pools); at this test
+        // size a ~10% cut is already well outside noise, since the
+        // no-copying variant finds *no* profitable parents at all (b = 1).
+        assert!(
+            a < 0.9 * b,
+            "block copying should cut the relative transition cost: {a:.3} vs {b:.3}"
+        );
+    }
+}

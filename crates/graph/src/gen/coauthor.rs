@@ -1,0 +1,186 @@
+//! Community-structured co-authorship simulator (DBLP-like stand-in).
+//!
+//! Papers are generated as a time-ordered event stream; each paper has a
+//! small author team mixing returning authors (rich-get-richer by paper
+//! count, plus repeat collaborations) and newcomers. All pairs of a team
+//! are connected in both directions, as is standard when running SimRank
+//! on co-authorship data. Generation stops once the requested author count
+//! is reached, so graphs generated with the same seed and increasing `n`
+//! are *growth snapshots* of one underlying history — exactly how the
+//! paper's DBLP D02/D05/D08/D11 snapshots relate to each other.
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::types::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the co-authorship model.
+#[derive(Clone, Copy, Debug)]
+pub struct CoauthorParams {
+    /// Number of authors to grow to.
+    pub authors: usize,
+    /// Probability that a team slot is a brand-new author.
+    pub newcomer_prob: f64,
+    /// Probability that a returning slot repeats a previous collaborator of
+    /// an already-chosen team member (community/triadic closure).
+    pub repeat_collab_prob: f64,
+    /// Probability that a paper event re-runs a *previous team* (stable lab
+    /// groups publishing repeatedly), optionally adding one newcomer. Team
+    /// repetition keeps group members' collaborator sets nearly identical —
+    /// the overlap behind the paper's 1.8× DBLP speedup.
+    pub team_repeat_prob: f64,
+}
+
+impl CoauthorParams {
+    /// Defaults matched to the DBLP snapshots (avg degree ≈ 2.4–2.8).
+    pub fn dblp_like(authors: usize) -> Self {
+        CoauthorParams {
+            authors,
+            newcomer_prob: 0.58,
+            repeat_collab_prob: 0.35,
+            team_repeat_prob: 0.55,
+        }
+    }
+}
+
+/// Samples a co-authorship graph with `params.authors` authors.
+pub fn coauthor_graph(params: CoauthorParams, seed: u64) -> DiGraph {
+    let n = params.authors;
+    assert!(n >= 5, "co-authorship model needs at least five authors");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_edge_capacity(n, n * 4);
+    // Author state, grown lazily.
+    let mut paper_mass: Vec<NodeId> = vec![0, 1]; // rich-get-richer sampling pool
+    let mut collaborators: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    // Recent teams ring, for stable-group repetition.
+    let mut past_teams: Vec<Vec<NodeId>> = Vec::new();
+    let mut next_author: usize = 2;
+    let mut team: Vec<NodeId> = Vec::with_capacity(6);
+    while next_author < n {
+        team.clear();
+        if !past_teams.is_empty() && rng.gen::<f64>() < params.team_repeat_prob {
+            // A stable group publishes again with one extra author — a new
+            // student or a visiting collaborator. The extra author joins
+            // every member's collaborator set simultaneously, which is what
+            // keeps the group's in-neighbor sets nearly identical.
+            let t = &past_teams[rng.gen_range(0..past_teams.len())];
+            team.extend_from_slice(t);
+            let extra: NodeId = if next_author < n && rng.gen::<f64>() < 0.4 {
+                let a = next_author as NodeId;
+                next_author += 1;
+                a
+            } else {
+                paper_mass[rng.gen_range(0..paper_mass.len())]
+            };
+            if !team.contains(&extra) {
+                team.push(extra);
+            }
+        } else {
+            // Fresh team of size 2..=4, weighted toward small teams.
+            let team_size = match rng.gen_range(0..10) {
+                0..=5 => 2,
+                6..=8 => 3,
+                _ => 4,
+            };
+            let mut guard = 0;
+            while team.len() < team_size && guard < 100 {
+                guard += 1;
+                let pick: NodeId = if next_author < n && rng.gen::<f64>() < params.newcomer_prob
+                {
+                    let a = next_author as NodeId;
+                    next_author += 1;
+                    a
+                } else if !team.is_empty()
+                    && rng.gen::<f64>() < params.repeat_collab_prob
+                    && !collaborators[team[0] as usize].is_empty()
+                {
+                    let pool = &collaborators[team[0] as usize];
+                    pool[rng.gen_range(0..pool.len())]
+                } else {
+                    paper_mass[rng.gen_range(0..paper_mass.len())]
+                };
+                if !team.contains(&pick) {
+                    team.push(pick);
+                }
+            }
+        }
+        for (i, &a) in team.iter().enumerate() {
+            paper_mass.push(a);
+            for &b in &team[i + 1..] {
+                builder.add_edge(a, b);
+                builder.add_edge(b, a);
+                if !collaborators[a as usize].contains(&b) {
+                    collaborators[a as usize].push(b);
+                }
+                if !collaborators[b as usize].contains(&a) {
+                    collaborators[b as usize].push(a);
+                }
+            }
+        }
+        // Remember the core of the team (capped so groups don't snowball
+        // as repeat events keep adding members).
+        let mut core = team.clone();
+        core.truncate(3);
+        past_teams.push(core);
+        if past_teams.len() > 40 {
+            past_teams.remove(0);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn symmetric_edges() {
+        let g = coauthor_graph(CoauthorParams::dblp_like(300), 4);
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u), "collaboration {u}-{v} must be mutual");
+        }
+    }
+
+    #[test]
+    fn average_degree_matches_dblp() {
+        // The paper's Fig. 5 counts *undirected* collaboration pairs
+        // (15,985 is odd, so it cannot be doubled directed edges): its
+        // "avg deg 2.4–2.8" is pairs/n. Our directed graph stores both
+        // directions, so the matching statistic is m/(2n).
+        let g = coauthor_graph(CoauthorParams::dblp_like(2000), 11);
+        let s = DegreeStats::of(&g);
+        let undirected = s.avg_degree / 2.0;
+        assert!(
+            undirected > 1.7 && undirected < 3.2,
+            "undirected avg degree {undirected} should resemble DBLP's 2.4-2.8"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = CoauthorParams::dblp_like(400);
+        assert_eq!(coauthor_graph(p, 2), coauthor_graph(p, 2));
+    }
+
+    #[test]
+    fn growth_snapshots_nest() {
+        // Same seed, larger n: the smaller graph's edges are a subset, up to
+        // the single paper event during which the smaller run hits its
+        // author cap (that final team may be assembled differently, which
+        // can perturb at most one team's worth of directed edges: 5*4 = 20).
+        let small = coauthor_graph(CoauthorParams::dblp_like(200), 8);
+        let large = coauthor_graph(CoauthorParams::dblp_like(500), 8);
+        let missing =
+            small.edges().filter(|&(u, v)| !large.has_edge(u, v)).count();
+        assert!(missing <= 20, "snapshots diverged by {missing} edges (cap 20)");
+    }
+
+    #[test]
+    fn prolific_authors_emerge() {
+        let g = coauthor_graph(CoauthorParams::dblp_like(1500), 3);
+        let s = DegreeStats::of(&g);
+        assert!(s.max_in_degree >= 12, "expected a prolific author, max={}", s.max_in_degree);
+    }
+}

@@ -1,0 +1,84 @@
+//! Uniform Erdős–Rényi `G(n, m)` digraphs.
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::types::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Samples a digraph with `n` vertices and exactly `m` distinct directed
+/// edges (no self-loops), uniformly at random.
+///
+/// Used in tests as the "no structure" contrast to the copying model: with
+/// independent uniform edges, in-neighbor sets barely overlap, so OIP-SR's
+/// sharing gain `d′/d` should approach 1 — the paper's worst case where
+/// OIP-SR falls back to psum-SR's complexity.
+pub fn gnm(n: usize, m: usize, seed: u64) -> DiGraph {
+    assert!(n >= 2, "G(n, m) needs at least two vertices");
+    let max_edges = n * (n - 1);
+    let m = m.min(max_edges);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(m * 2);
+    let mut builder = GraphBuilder::with_edge_capacity(n, m);
+    // Dense fallback: if m is a large fraction of the possible edges,
+    // sample by shuffling the full edge set instead of rejection.
+    if m * 3 >= max_edges {
+        let mut all: Vec<(NodeId, NodeId)> = Vec::with_capacity(max_edges);
+        for u in 0..n as NodeId {
+            for v in 0..n as NodeId {
+                if u != v {
+                    all.push((u, v));
+                }
+            }
+        }
+        for i in 0..m {
+            let j = rng.gen_range(i..all.len());
+            all.swap(i, j);
+            builder.add_edge(all[i].0, all[i].1);
+        }
+        return builder.build();
+    }
+    while seen.len() < m {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v && seen.insert((u, v)) {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = gnm(50, 200, 1);
+        assert_eq!(g.node_count(), 50);
+        assert_eq!(g.edge_count(), 200);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gnm(40, 100, 9), gnm(40, 100, 9));
+        assert_ne!(gnm(40, 100, 9), gnm(40, 100, 10));
+    }
+
+    #[test]
+    fn dense_fallback_path() {
+        // 10 vertices -> 90 possible edges; ask for 80 (dense path).
+        let g = gnm(10, 80, 4);
+        assert_eq!(g.edge_count(), 80);
+        for v in g.nodes() {
+            assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn overfull_request_clamped() {
+        let g = gnm(5, 1000, 2);
+        assert_eq!(g.edge_count(), 20);
+    }
+}

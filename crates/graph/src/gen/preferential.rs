@@ -1,0 +1,77 @@
+//! Barabási–Albert-style preferential attachment digraphs.
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::types::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Grows a digraph by preferential attachment: vertices arrive one at a
+/// time and each new vertex points `out_per_node` edges at existing
+/// vertices chosen proportionally to (in-degree + 1).
+///
+/// Produces heavy-tailed in-degrees and, importantly for SimRank sharing,
+/// many vertices whose in-neighbor sets share the early hubs.
+pub fn preferential_attachment(n: usize, out_per_node: usize, seed: u64) -> DiGraph {
+    assert!(n >= 2, "preferential attachment needs at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_edge_capacity(n, n * out_per_node);
+    // `targets` holds one entry per (in-degree + 1) unit: sampling uniformly
+    // from it realizes the preferential kernel in O(1).
+    let mut targets: Vec<NodeId> = vec![0];
+    let mut scratch: Vec<NodeId> = Vec::with_capacity(out_per_node);
+    for v in 1..n as NodeId {
+        scratch.clear();
+        let want = out_per_node.min(v as usize);
+        let mut guard = 0;
+        while scratch.len() < want && guard < 100 * want {
+            guard += 1;
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t != v && !scratch.contains(&t) {
+                scratch.push(t);
+            }
+        }
+        for &t in &scratch {
+            builder.add_edge(v, t);
+            targets.push(t);
+        }
+        targets.push(v); // the newcomer's baseline mass
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(preferential_attachment(64, 3, 5), preferential_attachment(64, 3, 5));
+    }
+
+    #[test]
+    fn edge_count_close_to_target() {
+        let g = preferential_attachment(100, 4, 1);
+        // First few vertices can't emit full out-degree.
+        assert!(g.edge_count() >= 4 * (100 - 5));
+        assert!(g.edge_count() <= 4 * 100);
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let g = preferential_attachment(300, 3, 9);
+        let s = DegreeStats::of(&g);
+        assert!(s.max_in_degree >= 15, "expected a hub, max={}", s.max_in_degree);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = preferential_attachment(80, 3, 2);
+        for v in g.nodes() {
+            assert!(!g.has_edge(v, v));
+            let outs = g.out_neighbors(v);
+            assert!(outs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

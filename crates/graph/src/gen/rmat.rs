@@ -1,0 +1,170 @@
+//! R-MAT recursive-matrix graph generator.
+//!
+//! GTGraph — the generator behind the paper's SYN datasets — samples each
+//! edge by recursively descending into one of the four quadrants of the
+//! adjacency matrix with probabilities `(a, b, c, d)`. The defaults here are
+//! GTGraph's defaults `(0.45, 0.15, 0.15, 0.25)`.
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::types::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the R-MAT model.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Number of vertices; rounded up to a power of two internally for the
+    /// quadrant recursion, then mapped back down by rejection.
+    pub nodes: usize,
+    /// Target number of *distinct* directed edges.
+    pub edges: usize,
+    /// Quadrant probabilities; must be positive and sum to 1.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+    /// Per-level probability noise, as in GTGraph (0.0 disables).
+    pub noise: f64,
+}
+
+impl RmatParams {
+    /// GTGraph default parameters for `n` vertices and `m` edges.
+    pub fn gtgraph_default(nodes: usize, edges: usize) -> Self {
+        RmatParams { nodes, edges, a: 0.45, b: 0.15, c: 0.15, d: 0.25, noise: 0.05 }
+    }
+}
+
+/// Samples an R-MAT graph. Duplicate edges and self-loops are re-drawn until
+/// the requested distinct-edge count is reached (with a retry cap so that
+/// infeasible requests terminate gracefully with fewer edges).
+pub fn rmat(params: RmatParams, seed: u64) -> DiGraph {
+    assert!(params.nodes >= 2, "R-MAT needs at least two vertices");
+    let max_edges = params.nodes * (params.nodes - 1);
+    let target = params.edges.min(max_edges);
+    let sum = params.a + params.b + params.c + params.d;
+    assert!((sum - 1.0).abs() < 1e-9, "R-MAT probabilities must sum to 1, got {sum}");
+
+    let levels = (params.nodes.max(2) as f64).log2().ceil() as u32;
+    let side = 1usize << levels;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_edge_capacity(params.nodes, target);
+    let mut seen = std::collections::HashSet::with_capacity(target * 2);
+    let mut attempts = 0usize;
+    let attempt_cap = target.saturating_mul(50).max(1000);
+    while seen.len() < target && attempts < attempt_cap {
+        attempts += 1;
+        let (u, v) = sample_cell(&mut rng, &params, levels, side);
+        if u >= params.nodes || v >= params.nodes || u == v {
+            continue;
+        }
+        if seen.insert((u as NodeId, v as NodeId)) {
+            builder.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    builder.build()
+}
+
+/// One recursive quadrant descent, returning a (row, col) cell.
+fn sample_cell(rng: &mut StdRng, p: &RmatParams, levels: u32, side: usize) -> (usize, usize) {
+    let mut row = 0usize;
+    let mut col = 0usize;
+    let mut half = side / 2;
+    for _ in 0..levels {
+        // GTGraph jitters the quadrant probabilities per level to avoid
+        // a perfectly self-similar (staircase) degree distribution.
+        let jitter = |base: f64, rng: &mut StdRng, noise: f64| -> f64 {
+            if noise == 0.0 {
+                base
+            } else {
+                base * (1.0 - noise + 2.0 * noise * rng.gen::<f64>())
+            }
+        };
+        let a = jitter(p.a, rng, p.noise);
+        let b = jitter(p.b, rng, p.noise);
+        let c = jitter(p.c, rng, p.noise);
+        let d = jitter(p.d, rng, p.noise);
+        let total = a + b + c + d;
+        let r = rng.gen::<f64>() * total;
+        if r < a {
+            // top-left: nothing to add
+        } else if r < a + b {
+            col += half;
+        } else if r < a + b + c {
+            row += half;
+        } else {
+            row += half;
+            col += half;
+        }
+        half /= 2;
+        let _ = d;
+    }
+    (row, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = RmatParams::gtgraph_default(128, 512);
+        let g1 = rmat(p, 7);
+        let g2 = rmat(p, 7);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = RmatParams::gtgraph_default(128, 512);
+        assert_ne!(rmat(p, 1), rmat(p, 2));
+    }
+
+    #[test]
+    fn respects_edge_target() {
+        let p = RmatParams::gtgraph_default(256, 1000);
+        let g = rmat(p, 42);
+        assert_eq!(g.edge_count(), 1000);
+        assert_eq!(g.node_count(), 256);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = rmat(RmatParams::gtgraph_default(64, 300), 3);
+        for v in g.nodes() {
+            assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        // R-MAT with a > d concentrates edges on low ids: the max degree
+        // should clearly exceed the average.
+        let g = rmat(RmatParams::gtgraph_default(512, 4096), 11);
+        let stats = crate::stats::DegreeStats::of(&g);
+        assert!(
+            stats.max_in_degree as f64 > 3.0 * stats.avg_degree,
+            "max {} vs avg {}",
+            stats.max_in_degree,
+            stats.avg_degree
+        );
+    }
+
+    #[test]
+    fn infeasible_edge_count_clamped() {
+        // 4 vertices admit at most 12 distinct directed non-loop edges.
+        let p = RmatParams { nodes: 4, edges: 500, ..RmatParams::gtgraph_default(4, 500) };
+        let g = rmat(p, 5);
+        assert!(g.edge_count() <= 12);
+    }
+
+    #[test]
+    fn non_power_of_two_nodes() {
+        let g = rmat(RmatParams::gtgraph_default(100, 400), 9);
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 400);
+    }
+}

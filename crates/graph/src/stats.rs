@@ -1,0 +1,106 @@
+//! Degree statistics, as reported in the paper's dataset table (Fig. 5).
+
+use crate::digraph::DiGraph;
+
+/// Summary statistics of a graph's degree structure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices `n`.
+    pub nodes: usize,
+    /// Number of edges `m`.
+    pub edges: usize,
+    /// Average degree `m / n` (the paper's "Avg Deg." column).
+    pub avg_degree: f64,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Vertices with `I(v) = ∅` (excluded from the cost graph `G*`).
+    pub zero_in_degree_nodes: usize,
+    /// Number of *distinct* in-neighbor sets among vertices with
+    /// `I(v) ≠ ∅`. Duplicated sets are free sharing opportunities for
+    /// `OIP-SR` (transition cost 0).
+    pub distinct_in_sets: usize,
+}
+
+impl DegreeStats {
+    /// Computes the statistics for `g`.
+    pub fn of(g: &DiGraph) -> DegreeStats {
+        let n = g.node_count();
+        let mut max_in = 0usize;
+        let mut max_out = 0usize;
+        let mut zero_in = 0usize;
+        let mut sets: Vec<&[crate::NodeId]> = Vec::new();
+        for v in g.nodes() {
+            let din = g.in_degree(v);
+            max_in = max_in.max(din);
+            max_out = max_out.max(g.out_degree(v));
+            if din == 0 {
+                zero_in += 1;
+            } else {
+                sets.push(g.in_neighbors(v));
+            }
+        }
+        sets.sort_unstable();
+        sets.dedup();
+        DegreeStats {
+            nodes: n,
+            edges: g.edge_count(),
+            avg_degree: g.avg_in_degree(),
+            max_in_degree: max_in,
+            max_out_degree: max_out,
+            zero_in_degree_nodes: zero_in,
+            distinct_in_sets: sets.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for DegreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} avg_deg={:.1} max_in={} max_out={} zero_in={} distinct_in_sets={}",
+            self.nodes,
+            self.edges,
+            self.avg_degree,
+            self.max_in_degree,
+            self.max_out_degree,
+            self.zero_in_degree_nodes,
+            self.distinct_in_sets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_fig1a;
+
+    #[test]
+    fn fig1a_stats() {
+        let s = DegreeStats::of(&paper_fig1a());
+        assert_eq!(s.nodes, 9);
+        assert_eq!(s.edges, 17);
+        assert_eq!(s.zero_in_degree_nodes, 3); // f, g, i
+        assert_eq!(s.distinct_in_sets, 6); // all six non-empty sets differ
+        assert_eq!(s.max_in_degree, 4); // I(b), I(d)
+        assert!((s.avg_degree - 17.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_in_sets_detected() {
+        // 0 -> 2, 1 -> 2, 0 -> 3, 1 -> 3: I(2) = I(3) = {0, 1}.
+        let g = DiGraph::from_edges(4, [(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.distinct_in_sets, 1);
+        assert_eq!(s.zero_in_degree_nodes, 2);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = DegreeStats::of(&paper_fig1a());
+        let line = s.to_string();
+        assert!(line.contains("n=9"));
+        assert!(line.contains("m=17"));
+    }
+}

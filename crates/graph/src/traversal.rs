@@ -1,0 +1,148 @@
+//! Traversal helpers: BFS, DFS preorder, topological sort, cycle checks.
+
+use crate::digraph::DiGraph;
+use crate::types::NodeId;
+use std::collections::VecDeque;
+
+/// Breadth-first order of vertices reachable from `start` (inclusive).
+pub fn bfs_order(g: &DiGraph, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start as usize] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.out_neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Iterative depth-first preorder from `start` (inclusive). Children are
+/// visited in ascending id order, matching the sorted CSR lists.
+pub fn dfs_preorder(g: &DiGraph, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    seen[start as usize] = true;
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        // Push in reverse so the smallest id is popped first.
+        for &v in g.out_neighbors(u).iter().rev() {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Kahn topological sort. Returns `None` if the graph has a cycle.
+///
+/// Used to validate that the citation-DAG generator really produces DAGs and
+/// that `DMST-Reduce`'s cost graph (edges only from smaller to larger
+/// in-neighbor sets under a strict total order) is acyclic.
+pub fn topological_sort(g: &DiGraph) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut in_deg: Vec<usize> = (0..n as NodeId).map(|v| g.in_degree(v)).collect();
+    let mut queue: VecDeque<NodeId> =
+        (0..n as NodeId).filter(|&v| in_deg[v as usize] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.out_neighbors(u) {
+            in_deg[v as usize] -= 1;
+            if in_deg[v as usize] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Whether the graph is a DAG.
+pub fn is_dag(g: &DiGraph) -> bool {
+    topological_sort(g).is_some()
+}
+
+/// Number of weakly connected components.
+pub fn weakly_connected_components(g: &DiGraph) -> usize {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut components = 0;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        components += 1;
+        seen[s] = true;
+        stack.push(s as NodeId);
+        while let Some(u) = stack.pop() {
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_fig1a, two_triangles};
+
+    #[test]
+    fn bfs_visits_reachable_set() {
+        let g = DiGraph::from_edges(5, [(0, 1), (0, 2), (2, 3)]).unwrap();
+        let order = bfs_order(&g, 0);
+        assert_eq!(order, vec![0, 1, 2, 3]); // 4 unreachable
+    }
+
+    #[test]
+    fn dfs_preorder_is_depth_first() {
+        let g = DiGraph::from_edges(5, [(0, 1), (0, 3), (1, 2)]).unwrap();
+        assert_eq!(dfs_preorder(&g, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn topo_sort_on_dag() {
+        let g = DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let order = topological_sort(&g).unwrap();
+        let pos: Vec<usize> =
+            (0..4).map(|v| order.iter().position(|&x| x == v).unwrap()).collect();
+        for (u, v) in g.edges() {
+            assert!(pos[u as usize] < pos[v as usize]);
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        assert!(!is_dag(&two_triangles()));
+        assert!(topological_sort(&two_triangles()).is_none());
+    }
+
+    #[test]
+    fn fig1a_is_a_dag() {
+        // Every Fig. 1a edge flows along the order f,g,i,e,b,a,d,h,c, so the
+        // paper's citation network is acyclic (as citations should be).
+        assert!(is_dag(&paper_fig1a()));
+    }
+
+    #[test]
+    fn weak_components() {
+        assert_eq!(weakly_connected_components(&two_triangles()), 2);
+        assert_eq!(weakly_connected_components(&paper_fig1a()), 1);
+        let empty = DiGraph::from_edges(3, []).unwrap();
+        assert_eq!(weakly_connected_components(&empty), 3);
+    }
+}

@@ -1,0 +1,244 @@
+//! Compressed sparse row matrices and the SimRank transition matrix.
+
+use crate::dense::DenseMatrix;
+use simrank_graph::DiGraph;
+
+/// A sparse `f64` matrix in compressed sparse row form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_offsets: Vec<usize>,
+    col_indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds from COO triplets `(row, col, value)`. Duplicate coordinates
+    /// are summed; explicit zeros are kept (callers control sparsity).
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Self {
+        let mut items: Vec<(usize, usize, f64)> = triplets.into_iter().collect();
+        for &(r, c, _) in &items {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+        }
+        items.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicates.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(items.len());
+        for (r, c, v) in items {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_offsets = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            row_offsets[r + 1] += 1;
+        }
+        for i in 0..rows {
+            row_offsets[i + 1] += row_offsets[i];
+        }
+        let col_indices = merged.iter().map(|&(_, c, _)| c as u32).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        CsrMatrix { rows, cols, row_offsets, col_indices, values }
+    }
+
+    /// The paper's *backward transition matrix* `Q` (Eq. 3):
+    /// `[Q]_{ij} = 1/|I(i)|` if there is an edge `j → i`, else 0.
+    /// Row `i` of `Q` is supported on the in-neighbor set `I(i)`.
+    pub fn backward_transition(g: &DiGraph) -> Self {
+        let n = g.node_count();
+        let mut triplets = Vec::with_capacity(g.edge_count());
+        for i in g.nodes() {
+            let ins = g.in_neighbors(i);
+            if ins.is_empty() {
+                continue;
+            }
+            let w = 1.0 / ins.len() as f64;
+            for &j in ins {
+                triplets.push((i as usize, j as usize, w));
+            }
+        }
+        Self::from_triplets(n, n, triplets)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sparse row view: parallel `(col_indices, values)` slices.
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_offsets[i];
+        let hi = self.row_offsets[i + 1];
+        (&self.col_indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Entry lookup (binary search within the row).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&(j as u32)) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> CsrMatrix {
+        let triplets: Vec<(usize, usize, f64)> = (0..self.rows)
+            .flat_map(|i| {
+                let (cols, vals) = self.row(i);
+                cols.iter()
+                    .zip(vals)
+                    .map(move |(&c, &v)| (c as usize, i, v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        CsrMatrix::from_triplets(self.cols, self.rows, triplets)
+    }
+
+    /// Densifies (small matrices / tests).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                out.set(i, c as usize, v);
+            }
+        }
+        out
+    }
+
+    /// Sparse–dense product `self · b`, `O(nnz · b.cols())`.
+    pub fn mul_dense(&self, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, b.rows(), "spmm shape mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, b.cols());
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            // out[i, :] += v * b[c, :] for each stored (c, v).
+            for (&c, &v) in cols.iter().zip(vals) {
+                let b_row = b.row(c as usize);
+                let out_row = out.row_mut(i);
+                for (o, &x) in out_row.iter_mut().zip(b_row) {
+                    *o += v * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense–sparseᵀ product `b · selfᵀ`, `O(nnz · b.rows())`.
+    ///
+    /// This is the second half of the reference SimRank step
+    /// `S ← C·Q·(S·Qᵀ) + (1−C)I`: `(Q S) Qᵀ` without densifying `Qᵀ`.
+    pub fn mul_dense_transposed(&self, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, b.cols(), "spmm-t shape mismatch");
+        let mut out = DenseMatrix::zeros(b.rows(), self.rows);
+        for j in 0..self.rows {
+            let (cols, vals) = self.row(j);
+            for i in 0..b.rows() {
+                let b_row = b.row(i);
+                let mut acc = 0.0;
+                for (&c, &v) in cols.iter().zip(vals) {
+                    acc += v * b_row[c as usize];
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Maximum row sum — `‖Q‖∞`; the transition matrix is row-substochastic
+    /// (`≤ 1`), the property the error bounds rest on.
+    pub fn max_row_sum(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| self.row(i).1.iter().sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrank_graph::fixtures::paper_fig1a;
+
+    #[test]
+    fn from_triplets_merges_duplicates() {
+        let m = CsrMatrix::from_triplets(2, 2, [(0, 0, 1.0), (0, 0, 2.0), (1, 1, 4.0)]);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(1, 1), 4.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn backward_transition_rows_are_uniform_over_in_neighbors() {
+        let g = paper_fig1a();
+        let q = CsrMatrix::backward_transition(&g);
+        // I(b) = {e, f, g, i} (ids 4,5,6,8): each weight 1/4.
+        let (cols, vals) = q.row(1);
+        assert_eq!(cols, &[4, 5, 6, 8]);
+        assert!(vals.iter().all(|&v| (v - 0.25).abs() < 1e-15));
+        // Source vertices have empty rows.
+        assert_eq!(q.row(5).0.len(), 0);
+        // Row sums are exactly 1 for non-source vertices.
+        assert!((q.max_row_sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = CsrMatrix::from_triplets(3, 2, [(0, 1, 2.0), (2, 0, -1.0), (1, 1, 0.5)]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.get(1, 0), 2.0);
+        assert_eq!(t.get(0, 2), -1.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = CsrMatrix::from_triplets(3, 3, [(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)]);
+        let b = DenseMatrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let sparse = m.mul_dense(&b);
+        let dense = m.to_dense().matmul(&b);
+        assert!(sparse.max_abs_diff(&dense) < 1e-12);
+    }
+
+    #[test]
+    fn spmm_transposed_matches_dense() {
+        let m = CsrMatrix::from_triplets(3, 3, [(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)]);
+        let b = DenseMatrix::from_fn(2, 3, |i, j| (1 + i + j) as f64);
+        let fast = m.mul_dense_transposed(&b);
+        let slow = b.matmul(&m.to_dense().transpose());
+        assert!(fast.max_abs_diff(&slow) < 1e-12);
+    }
+
+    #[test]
+    fn simrank_step_shapes() {
+        // One reference step S' = C·Q·S·Qᵀ + (1-C)·I on the fixture.
+        let g = paper_fig1a();
+        let n = g.node_count();
+        let q = CsrMatrix::backward_transition(&g);
+        let s = DenseMatrix::identity(n);
+        let qs = q.mul_dense(&s);
+        let mut s1 = q.mul_dense_transposed(&qs);
+        s1.scale(0.6);
+        s1.add_assign_scaled(&DenseMatrix::identity(n), 0.4);
+        assert!(s1.is_symmetric(1e-12));
+        // s1(a,b) with a=0, b=1: C * |I(a) ∩ I(b)| / (|I(a)||I(b)|) = 0.6 * 1/8.
+        assert!((s1.get(0, 1) - 0.6 / 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,259 @@
+//! Row-major dense `f64` matrices.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+///
+/// Sized for the reference implementations and the `mtx-SR` baseline; the
+/// production SimRank algorithms in `simrank-core` never materialize dense
+/// `n × n` intermediates beyond the similarity matrix itself.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Builds from a row-major slice.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        DenseMatrix { rows, cols, data: data.to_vec() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Immutable row view.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row view.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Raw data slice (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix product `self · other` with a transposed-operand inner loop
+    /// (better cache behaviour than the naive ijk order).
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let bt = other.transpose();
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = bt.row(j);
+                let mut acc = 0.0;
+                for k in 0..a_row.len() {
+                    acc += a_row[k] * b_row[k];
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// `self += alpha * other` (shape-checked).
+    pub fn add_assign_scaled(&mut self, other: &DenseMatrix, alpha: f64) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scales every entry in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Max (Chebyshev) norm — the paper's `‖·‖max` in Proposition 7.
+    pub fn max_norm(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+
+    /// Entry-wise max absolute difference; the convergence criterion used by
+    /// the paper's accuracy arguments.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Whether `|self - selfᵀ| ≤ tol` entry-wise (square matrices only).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:8.4} ", self.get(i, j))?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = DenseMatrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = DenseMatrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DenseMatrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = DenseMatrix::from_rows(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DenseMatrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(4, 2), a.get(2, 4));
+    }
+
+    #[test]
+    fn norms() {
+        let a = DenseMatrix::from_rows(2, 2, &[3.0, -4.0, 0.0, 0.0]);
+        assert_eq!(a.max_norm(), 4.0);
+        assert!((a.fro_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_scaled_works() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        let b = DenseMatrix::identity(2);
+        a.add_assign_scaled(&b, 2.5);
+        assert_eq!(a.get(0, 0), 2.5);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = DenseMatrix::from_rows(2, 2, &[1.0, 0.5, 0.5, 1.0]);
+        assert!(s.is_symmetric(0.0));
+        let a = DenseMatrix::from_rows(2, 2, &[1.0, 0.5, 0.4, 1.0]);
+        assert!(!a.is_symmetric(1e-3));
+        assert!(a.is_symmetric(0.2));
+        let r = DenseMatrix::zeros(2, 3);
+        assert!(!r.is_symmetric(1.0));
+    }
+
+    #[test]
+    fn max_abs_diff_is_zero_on_self() {
+        let a = DenseMatrix::from_fn(4, 4, |i, j| (i + j) as f64);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+        let mut b = a.clone();
+        b.set(3, 2, b.get(3, 2) + 0.25);
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+    }
+}

@@ -1,0 +1,28 @@
+//! Matrix substrate for the SimRank workspace.
+//!
+//! Everything the matrix-form SimRank derivations of the paper touch,
+//! implemented from scratch:
+//!
+//! * [`DenseMatrix`] — row-major `f64` matrices with the product/transpose/
+//!   norm operations used by the reference iteration
+//!   `S = C·Q·S·Qᵀ + (1−C)·Iₙ` (paper Eq. 3) and the differential SimRank
+//!   `Ŝ` accumulation (Eq. 15);
+//! * [`CsrMatrix`] — compressed sparse row matrices, including the backward
+//!   transition matrix `Q` (`[Q]_{ij} = 1/|I(i)|` iff `j → i ∈ E`) and the
+//!   sparse–dense kernels that make the reference iteration `O(m·n)` rather
+//!   than `O(n³)`;
+//! * [`svd`] — one-sided Jacobi singular value decomposition, the engine of
+//!   the `mtx-SR` baseline (Li et al., EDBT'10) that the paper compares
+//!   against;
+//! * [`kron`] — Kronecker-product and `vec(·)` helpers mirroring the
+//!   error-bound proof of the paper's Proposition 7 (used by tests to check
+//!   the bound machinery itself).
+
+mod csr;
+mod dense;
+pub mod kron;
+pub mod svd;
+
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use svd::Svd;

@@ -1,0 +1,207 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! This powers the `mtx-SR` baseline (Li et al., EDBT'10), which the paper
+//! compares against: `mtx-SR` factorizes the transition matrix with an SVD
+//! and iterates in the low-rank space. One-sided Jacobi is simple, robust,
+//! and accurate to working precision — ample for the ≤ few-thousand-vertex
+//! matrices this workspace materializes (its `O(n³)` sweeps are in fact the
+//! very cost the paper criticizes `mtx-SR` for).
+
+// Indexed loops are the natural form for the paired-column rotations below;
+// iterator adaptors would obscure the simultaneous updates.
+#![allow(clippy::needless_range_loop)]
+
+use crate::dense::DenseMatrix;
+
+/// A (thin) singular value decomposition `A = U · diag(σ) · Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors, `m × r` (columns orthonormal).
+    pub u: DenseMatrix,
+    /// Singular values, descending, length `r`.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, `n × r` (columns orthonormal).
+    pub v: DenseMatrix,
+}
+
+impl Svd {
+    /// Computes the SVD of `a` by one-sided Jacobi.
+    ///
+    /// Sweeps rotate column pairs of a working copy `B = A·V` until all
+    /// pairs are orthogonal; singular values are then the column norms of
+    /// `B` and `U = B · diag(1/σ)`.
+    pub fn compute(a: &DenseMatrix) -> Svd {
+        let m = a.rows();
+        let n = a.cols();
+        // Column-major working copy of A (columns rotate in place).
+        let mut b: Vec<Vec<f64>> = (0..n).map(|j| (0..m).map(|i| a.get(i, j)).collect()).collect();
+        let mut v: Vec<Vec<f64>> = (0..n)
+            .map(|j| (0..n).map(|i| if i == j { 1.0 } else { 0.0 }).collect())
+            .collect();
+        let eps = 1e-14;
+        let max_sweeps = 60;
+        for _ in 0..max_sweeps {
+            let mut off = 0.0f64;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let (mut app, mut aqq, mut apq) = (0.0, 0.0, 0.0);
+                    for i in 0..m {
+                        app += b[p][i] * b[p][i];
+                        aqq += b[q][i] * b[q][i];
+                        apq += b[p][i] * b[q][i];
+                    }
+                    if apq.abs() <= eps * (app * aqq).sqrt().max(f64::MIN_POSITIVE) {
+                        continue;
+                    }
+                    off = off.max(apq.abs());
+                    // Jacobi rotation angle for the 2x2 Gram block.
+                    let tau = (aqq - app) / (2.0 * apq);
+                    let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    for i in 0..m {
+                        let bp = b[p][i];
+                        let bq = b[q][i];
+                        b[p][i] = c * bp - s * bq;
+                        b[q][i] = s * bp + c * bq;
+                    }
+                    for i in 0..n {
+                        let vp = v[p][i];
+                        let vq = v[q][i];
+                        v[p][i] = c * vp - s * vq;
+                        v[q][i] = s * vp + c * vq;
+                    }
+                }
+            }
+            if off < 1e-13 {
+                break;
+            }
+        }
+        // Extract singular values and sort descending.
+        let mut order: Vec<usize> = (0..n).collect();
+        let norms: Vec<f64> =
+            b.iter().map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+        order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("finite norms"));
+        let mut u = DenseMatrix::zeros(m, n);
+        let mut vv = DenseMatrix::zeros(n, n);
+        let mut sigma = Vec::with_capacity(n);
+        for (new_j, &old_j) in order.iter().enumerate() {
+            let s = norms[old_j];
+            sigma.push(s);
+            if s > 0.0 {
+                for i in 0..m {
+                    u.set(i, new_j, b[old_j][i] / s);
+                }
+            }
+            for i in 0..n {
+                vv.set(i, new_j, v[old_j][i]);
+            }
+        }
+        Svd { u, sigma, v: vv }
+    }
+
+    /// Numerical rank at the given relative tolerance.
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        let cutoff = self.sigma.first().copied().unwrap_or(0.0) * rel_tol;
+        self.sigma.iter().filter(|&&s| s > cutoff).count()
+    }
+
+    /// Truncates to the leading `r` singular triplets.
+    pub fn truncate(&self, r: usize) -> Svd {
+        let r = r.min(self.sigma.len());
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let u = DenseMatrix::from_fn(m, r, |i, j| self.u.get(i, j));
+        let v = DenseMatrix::from_fn(n, r, |i, j| self.v.get(i, j));
+        Svd { u, sigma: self.sigma[..r].to_vec(), v }
+    }
+
+    /// Reconstructs `U · diag(σ) · Vᵀ`.
+    pub fn reconstruct(&self) -> DenseMatrix {
+        let r = self.sigma.len();
+        let mut us = DenseMatrix::zeros(self.u.rows(), r);
+        for i in 0..self.u.rows() {
+            for j in 0..r {
+                us.set(i, j, self.u.get(i, j) * self.sigma[j]);
+            }
+        }
+        us.matmul(&self.v.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ortho_error(m: &DenseMatrix) -> f64 {
+        // ‖MᵀM − I‖max over the leading r columns.
+        let g = m.transpose().matmul(m);
+        let mut err = 0.0f64;
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                let want = if i == j { 1.0 } else { 0.0 };
+                err = err.max((g.get(i, j) - want).abs());
+            }
+        }
+        err
+    }
+
+    #[test]
+    fn identity_svd() {
+        let svd = Svd::compute(&DenseMatrix::identity(4));
+        for &s in &svd.sigma {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        assert!(svd.reconstruct().max_abs_diff(&DenseMatrix::identity(4)) < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_matrix_singular_values() {
+        let a = DenseMatrix::from_rows(3, 3, &[3.0, 0.0, 0.0, 0.0, -5.0, 0.0, 0.0, 0.0, 1.0]);
+        let svd = Svd::compute(&a);
+        assert!((svd.sigma[0] - 5.0).abs() < 1e-12);
+        assert!((svd.sigma[1] - 3.0).abs() < 1e-12);
+        assert!((svd.sigma[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        // A fixed pseudo-random matrix (no rand dependency needed here).
+        let a = DenseMatrix::from_fn(6, 6, |i, j| {
+            let x = (i * 31 + j * 17 + 7) % 23;
+            (x as f64) / 23.0 - 0.5
+        });
+        let svd = Svd::compute(&a);
+        assert!(svd.reconstruct().max_abs_diff(&a) < 1e-10, "reconstruction failed");
+        assert!(ortho_error(&svd.u) < 1e-10, "U not orthonormal");
+        assert!(ortho_error(&svd.v) < 1e-10, "V not orthonormal");
+        // Descending singular values.
+        assert!(svd.sigma.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Rank-1: outer product.
+        let a = DenseMatrix::from_fn(4, 4, |i, j| ((i + 1) * (j + 1)) as f64);
+        let svd = Svd::compute(&a);
+        assert_eq!(svd.rank(1e-9), 1);
+        let truncated = svd.truncate(1);
+        assert!(truncated.reconstruct().max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn truncation_clamps() {
+        let svd = Svd::compute(&DenseMatrix::identity(3));
+        assert_eq!(svd.truncate(10).sigma.len(), 3);
+        assert_eq!(svd.truncate(2).sigma.len(), 2);
+    }
+
+    #[test]
+    fn rectangular_matrix() {
+        let a = DenseMatrix::from_rows(3, 2, &[1.0, 0.0, 0.0, 2.0, 0.0, 0.0]);
+        let svd = Svd::compute(&a);
+        assert!((svd.sigma[0] - 2.0).abs() < 1e-12);
+        assert!((svd.sigma[1] - 1.0).abs() < 1e-12);
+        assert!(svd.reconstruct().max_abs_diff(&a) < 1e-12);
+    }
+}

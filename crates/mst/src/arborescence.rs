@@ -1,0 +1,294 @@
+//! The arborescence result type and its tree views.
+
+use crate::edmonds::Edge;
+
+/// A rooted spanning arborescence: every non-root vertex has exactly one
+/// parent, and all edges point away from the root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Arborescence {
+    root: usize,
+    /// `parent[v]` — `None` for the root.
+    parent: Vec<Option<usize>>,
+    /// Weight of the edge entering `v` (0 for the root).
+    parent_weight: Vec<u64>,
+    /// Sum of all tree-edge weights.
+    pub total_weight: u64,
+}
+
+impl Arborescence {
+    /// Assembles the tree from the edge indices chosen by the solver.
+    pub(crate) fn from_chosen_edges(
+        n: usize,
+        root: usize,
+        edges: &[Edge],
+        chosen: &[usize],
+    ) -> Self {
+        let mut parent = vec![None; n];
+        let mut parent_weight = vec![0u64; n];
+        let mut total = 0u64;
+        for &i in chosen {
+            let e = edges[i];
+            debug_assert!(parent[e.to].is_none(), "vertex {} chosen twice", e.to);
+            parent[e.to] = Some(e.from);
+            parent_weight[e.to] = e.weight;
+            total += e.weight;
+        }
+        Arborescence { root, parent, parent_weight, total_weight: total }
+    }
+
+    /// Builds an arborescence directly from parent pointers and per-vertex
+    /// entry-edge weights (used by callers that select parents greedily,
+    /// like `DMST-Reduce`'s streaming fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root has a parent, a parent index is out of range, or
+    /// the parent pointers contain a cycle.
+    pub fn from_parents(root: usize, parents: Vec<Option<usize>>, weights: Vec<u64>) -> Self {
+        assert_eq!(parents.len(), weights.len(), "parents/weights length mismatch");
+        assert!(root < parents.len(), "root out of range");
+        assert!(parents[root].is_none(), "root must not have a parent");
+        for &p in parents.iter().flatten() {
+            assert!(p < parents.len(), "parent index out of range");
+        }
+        let total_weight = weights.iter().sum();
+        let arb = Arborescence { root, parent: parents, parent_weight: weights, total_weight };
+        assert!(arb.is_acyclic(), "parent pointers contain a cycle");
+        arb
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Number of vertices (including the root).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        self.parent[v]
+    }
+
+    /// The full parent array.
+    pub fn parents(&self) -> &[Option<usize>] {
+        &self.parent
+    }
+
+    /// Weight of the edge entering `v` (0 for the root).
+    pub fn parent_weight(&self, v: usize) -> u64 {
+        self.parent_weight[v]
+    }
+
+    /// Children lists, ascending by vertex id.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for (v, &p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                ch[p].push(v);
+            }
+        }
+        ch
+    }
+
+    /// Verifies the parent pointers contain no cycle.
+    pub fn is_acyclic(&self) -> bool {
+        let n = self.parent.len();
+        let mut state = vec![0u8; n]; // 0 unseen, 1 on current path, 2 done
+        for start in 0..n {
+            if state[start] != 0 {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut v = start;
+            loop {
+                match state[v] {
+                    1 => return false, // rejoined the current path: cycle
+                    2 => break,        // reaches an already-verified vertex
+                    _ => {}
+                }
+                state[v] = 1;
+                path.push(v);
+                match self.parent[v] {
+                    Some(p) => v = p,
+                    None => break,
+                }
+            }
+            for &u in &path {
+                state[u] = 2;
+            }
+        }
+        true
+    }
+
+    /// Depth of each vertex (root = 0).
+    pub fn depths(&self) -> Vec<usize> {
+        let n = self.parent.len();
+        let mut depth = vec![usize::MAX; n];
+        depth[self.root] = 0;
+        for start in 0..n {
+            if depth[start] != usize::MAX {
+                continue;
+            }
+            let mut chain = vec![start];
+            let mut v = start;
+            while let Some(p) = self.parent[v] {
+                if depth[p] != usize::MAX {
+                    v = p;
+                    break;
+                }
+                chain.push(p);
+                v = p;
+            }
+            let mut d = depth[v];
+            for &u in chain.iter().rev() {
+                d += 1;
+                depth[u] = d;
+            }
+        }
+        depth
+    }
+
+    /// Subtree sizes (each vertex counts itself).
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let n = self.parent.len();
+        let mut size = vec![1usize; n];
+        // Process vertices in decreasing depth so children fold into parents.
+        let depths = self.depths();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by_key(|&v| std::cmp::Reverse(depths[v]));
+        for v in order {
+            if let Some(p) = self.parent[v] {
+                size[p] += size[v];
+            }
+        }
+        size
+    }
+
+    /// Decomposes the tree into root-originating chains, reproducing the
+    /// paper's Fig. 2d "partial sums order".
+    ///
+    /// Each chain starts at a child of the root and repeatedly descends into
+    /// the *cheapest* child edge (ties toward the smaller vertex id);
+    /// remaining children become heads of further chains, emitted in DFS
+    /// discovery order. Every non-root vertex appears in exactly one chain.
+    pub fn chains(&self) -> Vec<Vec<usize>> {
+        let children = self.children();
+        let mut chains = Vec::new();
+        // Stack of chain heads, processed in order; root children first.
+        let mut heads: std::collections::VecDeque<usize> =
+            children[self.root].iter().copied().collect();
+        while let Some(head) = heads.pop_front() {
+            let mut chain = vec![head];
+            let mut v = head;
+            loop {
+                let kids = &children[v];
+                if kids.is_empty() {
+                    break;
+                }
+                // Cheapest child edge continues the chain (ties toward the
+                // smaller vertex id).
+                let next = kids
+                    .iter()
+                    .copied()
+                    .min_by_key(|&c| (self.parent_weight[c], c))
+                    .expect("non-empty children");
+                for &c in kids {
+                    if c != next {
+                        heads.push_back(c);
+                    }
+                }
+                chain.push(next);
+                v = next;
+            }
+            chains.push(chain);
+        }
+        chains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edmonds::{edmonds, Edge};
+
+    fn e(from: usize, to: usize, weight: u64) -> Edge {
+        Edge::new(from, to, weight)
+    }
+
+    /// The paper's Fig. 2c tree (vertex 0 = the root `∅`, 1..=6 mapping to
+    /// I(a), I(e), I(h), I(c), I(b), I(d) in that order).
+    fn fig2c_tree() -> Arborescence {
+        let edges = vec![
+            e(0, 1, 1), // ∅ -> I(a)
+            e(0, 2, 1), // ∅ -> I(e)
+            e(0, 3, 1), // ∅ -> I(h)
+            e(1, 4, 1), // I(a) -> I(c)
+            e(2, 5, 2), // I(e) -> I(b)
+            e(5, 6, 2), // I(b) -> I(d)
+        ];
+        edmonds(7, &edges, 0).unwrap()
+    }
+
+    #[test]
+    fn children_and_depths() {
+        let t = fig2c_tree();
+        let ch = t.children();
+        assert_eq!(ch[0], vec![1, 2, 3]);
+        assert_eq!(ch[2], vec![5]);
+        assert_eq!(t.depths(), vec![0, 1, 1, 1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn chains_reproduce_fig2d() {
+        let t = fig2c_tree();
+        let chains = t.chains();
+        assert_eq!(
+            chains,
+            vec![
+                vec![1, 4],    // ∅ -> I(a) -> I(c)
+                vec![2, 5, 6], // ∅ -> I(e) -> I(b) -> I(d)
+                vec![3],       // ∅ -> I(h)
+            ]
+        );
+    }
+
+    #[test]
+    fn chains_cover_every_vertex_once() {
+        let t = fig2c_tree();
+        let mut seen: Vec<usize> = t.chains().into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn subtree_sizes_sum() {
+        let t = fig2c_tree();
+        let sizes = t.subtree_sizes();
+        assert_eq!(sizes[0], 7);
+        assert_eq!(sizes[2], 3); // I(e) -> I(b) -> I(d)
+        assert_eq!(sizes[4], 1);
+    }
+
+    #[test]
+    fn total_weight_is_edge_sum() {
+        let t = fig2c_tree();
+        assert_eq!(t.total_weight, 8); // 1+1+1+1+2+2, Fig. 2c bold edges
+    }
+
+    #[test]
+    fn branching_chain_decomposition() {
+        // Root 0 with child 1; vertex 1 has children 2 (cheap) and 3
+        // (expensive): the chain follows 2, and 3 becomes a new head.
+        let edges = vec![e(0, 1, 1), e(1, 2, 1), e(1, 3, 5)];
+        let t = edmonds(4, &edges, 0).unwrap();
+        assert_eq!(t.chains(), vec![vec![1, 2], vec![3]]);
+    }
+}

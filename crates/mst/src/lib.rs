@@ -1,0 +1,28 @@
+//! Directed minimum spanning arborescence substrate.
+//!
+//! The paper's `DMST-Reduce` procedure (Algorithm 1, line 1) builds a
+//! weighted digraph `G*` over in-neighbor sets and extracts a directed
+//! minimum spanning tree rooted at a synthetic vertex `#` (the empty set),
+//! citing Gabow–Galil–Spencer–Tarjan \[7\]. This crate provides:
+//!
+//! * [`edmonds`] — the classic Chu–Liu/Edmonds algorithm for minimum
+//!   arborescences on arbitrary digraphs (O(V·E) contraction version),
+//!   which is the general-purpose substrate;
+//! * [`dag_arborescence`] — the fast path for the cost graphs that
+//!   `DMST-Reduce` actually produces: edges there only go from smaller to
+//!   larger in-neighbor sets under a strict total order, so the graph is a
+//!   DAG and per-vertex greedy minimum-incoming-edge selection is already
+//!   optimal;
+//! * [`Arborescence`] — the result tree, with the chain decomposition
+//!   (`chains`) that reproduces the paper's Fig. 2d "partial sums order"
+//!   and the child/subtree views the OIP-SR scheduler needs.
+//!
+//! Both algorithms break weight ties deterministically in favor of the
+//! earliest edge in input order, which is what lets the workspace tests pin
+//! the paper's worked example (Fig. 2b–2d) exactly.
+
+mod arborescence;
+mod edmonds;
+
+pub use arborescence::Arborescence;
+pub use edmonds::{dag_arborescence, edmonds, Edge};

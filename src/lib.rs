@@ -1,0 +1,44 @@
+//! Facade crate for the SimRank workspace: re-exports the public API of
+//! every member crate under one roof, so downstream users can depend on
+//! `simrank` alone.
+//!
+//! This workspace reproduces *Towards Efficient SimRank Computation on
+//! Large Networks* (Weiren Yu, Xuemin Lin, Wenjie Zhang — ICDE 2013):
+//!
+//! * [`graph`] — directed-graph substrate (CSR storage, generators, I/O).
+//! * [`linalg`] — dense/sparse matrices and Jacobi SVD.
+//! * [`mst`] — directed minimum spanning arborescence (Chu–Liu/Edmonds).
+//! * [`algo`] — the SimRank algorithms: `naive`, `psum-SR`, `OIP-SR`,
+//!   `OIP-DSR`, `mtx-SR`, plus convergence estimators and extensions.
+//! * [`eval`] — ranking metrics (NDCG, Kendall τ, top-k overlap).
+//! * [`datasets`] — simulated stand-ins for the paper's datasets.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use simrank::prelude::*;
+//!
+//! let g = simrank::graph::fixtures::paper_fig1a();
+//! let opts = SimRankOptions::default().with_damping(0.6).with_iterations(8);
+//! let scores = oip_simrank(&g, &opts);
+//! let ab = scores.get(0, 1); // s(a, b) in the paper's lettering
+//! assert!(ab >= 0.0 && ab <= 1.0);
+//! ```
+
+pub use simrank_core as algo;
+pub use simrank_datasets as datasets;
+pub use simrank_eval as eval;
+pub use simrank_graph as graph;
+pub use simrank_linalg as linalg;
+pub use simrank_mst as mst;
+
+/// Convenient glob-import surface: the types and entry points most programs
+/// need.
+pub mod prelude {
+    pub use simrank_core::{
+        dsr::oip_dsr_simrank, naive::naive_simrank, oip::oip_simrank, psum::psum_simrank,
+        SimMatrix, SimRankOptions,
+    };
+    pub use simrank_eval::{kendall_tau, ndcg_at, top_k_overlap};
+    pub use simrank_graph::{DiGraph, GraphBuilder, NodeId};
+}
