@@ -27,9 +27,15 @@ fn ablation_mst(c: &mut Criterion) {
     let base = SimRankOptions::default().with_iterations(4);
     let mut group = c.benchmark_group("ablation_mst");
     group.sample_size(10);
-    group.bench_function("with_mst_sharing", |b| b.iter(|| oip::oip_simrank(&g, &base)));
-    let off = base.with_cost_model(CostModel::ScratchOnly).with_outer_sharing(false);
-    group.bench_function("trivial_partitions", |b| b.iter(|| oip::oip_simrank(&g, &off)));
+    group.bench_function("with_mst_sharing", |b| {
+        b.iter(|| oip::oip_simrank(&g, &base))
+    });
+    let off = base
+        .with_cost_model(CostModel::ScratchOnly)
+        .with_outer_sharing(false);
+    group.bench_function("trivial_partitions", |b| {
+        b.iter(|| oip::oip_simrank(&g, &off))
+    });
     group.finish();
 }
 
@@ -38,9 +44,13 @@ fn ablation_outer(c: &mut Criterion) {
     let base = SimRankOptions::default().with_iterations(4);
     let mut group = c.benchmark_group("ablation_outer");
     group.sample_size(10);
-    group.bench_function("inner_and_outer", |b| b.iter(|| oip::oip_simrank(&g, &base)));
+    group.bench_function("inner_and_outer", |b| {
+        b.iter(|| oip::oip_simrank(&g, &base))
+    });
     let inner_only = base.with_outer_sharing(false);
-    group.bench_function("inner_only", |b| b.iter(|| oip::oip_simrank(&g, &inner_only)));
+    group.bench_function("inner_only", |b| {
+        b.iter(|| oip::oip_simrank(&g, &inner_only))
+    });
     group.finish();
 }
 
@@ -51,7 +61,9 @@ fn ablation_cost_model(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("min_eq7", |b| b.iter(|| oip::oip_simrank(&g, &base)));
     let symdiff = base.with_cost_model(CostModel::SymDiffOnly);
-    group.bench_function("symdiff_only", |b| b.iter(|| oip::oip_simrank(&g, &symdiff)));
+    group.bench_function("symdiff_only", |b| {
+        b.iter(|| oip::oip_simrank(&g, &symdiff))
+    });
     group.finish();
 }
 
@@ -64,7 +76,9 @@ fn ablation_dmst_algo(c: &mut Criterion) {
         b.iter(|| SharingPlan::build(&g, &base))
     });
     let edmonds = base.with_edmonds(true);
-    group.bench_function("chu_liu_edmonds", |b| b.iter(|| SharingPlan::build(&g, &edmonds)));
+    group.bench_function("chu_liu_edmonds", |b| {
+        b.iter(|| SharingPlan::build(&g, &edmonds))
+    });
     group.finish();
 }
 

@@ -15,7 +15,9 @@ const SEED: u64 = datasets::DEFAULT_SEED;
 fn fig6a_time(c: &mut Criterion) {
     let d = datasets::dblp_like(datasets::DblpSnapshot::D02, 24, SEED);
     let g = &d.graph;
-    let opts = SimRankOptions::default().with_damping(0.6).with_iterations(5);
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_iterations(5);
     let mut group = c.benchmark_group("fig6a_time");
     group.sample_size(10);
     group.bench_function("oip_dsr", |b| b.iter(|| dsr::oip_dsr_simrank(g, &opts)));
@@ -69,7 +71,9 @@ fn fig6d_memory_regimes(c: &mut Criterion) {
     let opts = SimRankOptions::default().with_iterations(5);
     let mut group = c.benchmark_group("fig6d_memory_regimes");
     group.sample_size(10);
-    group.bench_function("mtx_sr_dense_svd", |b| b.iter(|| mtx::mtx_simrank(g, &opts, None)));
+    group.bench_function("mtx_sr_dense_svd", |b| {
+        b.iter(|| mtx::mtx_simrank(g, &opts, None))
+    });
     group.bench_function("oip_sr_sparse", |b| b.iter(|| oip::oip_simrank(g, &opts)));
     group.finish();
 }
@@ -81,11 +85,15 @@ fn fig6e_convergence(c: &mut Criterion) {
         simrank_graph::gen::CoauthorParams::dblp_like(400),
         SEED,
     );
-    let opts = SimRankOptions::default().with_damping(0.8).with_epsilon(1e-4);
+    let opts = SimRankOptions::default()
+        .with_damping(0.8)
+        .with_epsilon(1e-4);
     let mut group = c.benchmark_group("fig6e_convergence");
     group.sample_size(10);
     group.bench_function("oip_sr_to_eps", |b| b.iter(|| oip::oip_simrank(&g, &opts)));
-    group.bench_function("oip_dsr_to_eps", |b| b.iter(|| dsr::oip_dsr_simrank(&g, &opts)));
+    group.bench_function("oip_dsr_to_eps", |b| {
+        b.iter(|| dsr::oip_dsr_simrank(&g, &opts))
+    });
     group.finish();
 }
 

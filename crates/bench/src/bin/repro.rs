@@ -10,8 +10,9 @@ use simrank_bench::experiments as exp;
 use simrank_bench::Scale;
 use simrank_datasets::DEFAULT_SEED;
 
-const EXPERIMENTS: [&str; 9] =
-    ["fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6g", "fig6h"];
+const EXPERIMENTS: [&str; 9] = [
+    "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6g", "fig6h",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,7 +24,10 @@ fn main() {
         match args[i].as_str() {
             "--experiment" | "-e" => {
                 i += 1;
-                experiment = args.get(i).cloned().unwrap_or_else(|| usage("missing experiment"));
+                experiment = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("missing experiment"));
             }
             "--full" => scale = Scale::Full,
             "--seed" => {

@@ -21,20 +21,37 @@ pub struct Row {
 pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
     let mut rows = Vec::new();
     let b = datasets::berkstan_like(scale.berkstan_nodes(), seed);
-    rows.push(Row { name: b.name, stats: b.stats, paper: (685_230, 7_600_595, 11.1) });
+    rows.push(Row {
+        name: b.name,
+        stats: b.stats,
+        paper: (685_230, 7_600_595, 11.1),
+    });
     let p = datasets::patent_like(scale.patent_nodes(), seed);
-    rows.push(Row { name: p.name, stats: p.stats, paper: (3_774_768, 16_518_948, 4.4) });
+    rows.push(Row {
+        name: p.name,
+        stats: p.stats,
+        paper: (3_774_768, 16_518_948, 4.4),
+    });
     // DBLP rows: the paper's counts are *undirected* collaboration pairs
     // (15,985 is odd, so it cannot be doubled directed edges), while our
     // SimRank graph stores both directions — halve our edge statistics to
     // the paper's convention for the table.
-    let paper_dblp = [(5_982, 15_985, 2.7), (9_342, 22_427, 2.4), (13_736, 37_685, 2.7), (19_371, 51_146, 2.6)];
+    let paper_dblp = [
+        (5_982, 15_985, 2.7),
+        (9_342, 22_427, 2.4),
+        (13_736, 37_685, 2.7),
+        (19_371, 51_146, 2.6),
+    ];
     for (snap, paper) in datasets::DblpSnapshot::ALL.iter().zip(paper_dblp) {
         let d = datasets::dblp_like(*snap, scale.dblp_scale_div(), seed);
         let mut stats = d.stats;
         stats.edges /= 2;
         stats.avg_degree /= 2.0;
-        rows.push(Row { name: d.name, stats, paper });
+        rows.push(Row {
+            name: d.name,
+            stats,
+            paper,
+        });
     }
     rows
 }

@@ -62,7 +62,9 @@ pub struct Fig6a {
 
 /// Runs all three panels.
 pub fn run(scale: Scale, seed: u64) -> Fig6a {
-    let opts = SimRankOptions::default().with_damping(0.6).with_epsilon(1e-3);
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_epsilon(1e-3);
 
     // --- Panel 1: DBLP, all four algorithms, fixed accuracy. ---
     let mut dblp = Vec::new();
@@ -95,14 +97,14 @@ pub fn run(scale: Scale, seed: u64) -> Fig6a {
         &scale.patent_k_sweep(),
         &opts,
     );
-    Fig6a { dblp, berkstan, patent }
+    Fig6a {
+        dblp,
+        berkstan,
+        patent,
+    }
 }
 
-fn k_sweep(
-    g: &simrank_graph::DiGraph,
-    ks: &[u32],
-    base: &SimRankOptions,
-) -> Vec<KSweepPoint> {
+fn k_sweep(g: &simrank_graph::DiGraph, ks: &[u32], base: &SimRankOptions) -> Vec<KSweepPoint> {
     // Share one plan across the sweep: the paper amortizes MST construction
     // the same way (Fig. 6b separates it out).
     let plan = SharingPlan::build(g, base);
@@ -112,8 +114,7 @@ fn k_sweep(
             // OIP-DSR at the accuracy equivalent to K conventional
             // iterations (geometric residual C^{K+1}).
             let eps_equiv = simrank_core::convergence::geometric_residual(base.damping, k);
-            let dsr_k =
-                simrank_core::convergence::differential_iterations(base.damping, eps_equiv);
+            let dsr_k = simrank_core::convergence::differential_iterations(base.damping, eps_equiv);
             let opts_dsr = base.with_iterations(dsr_k);
             let (_, r_dsr) = dsr::oip_dsr_simrank_with_plan(g, &plan, &opts_dsr);
             let (_, r_oip) = oip::oip_simrank_with_plan(g, &plan, &opts_k);
@@ -139,7 +140,9 @@ pub fn render(fig: &Fig6a) -> String {
             fmt_secs(p.oip_dsr),
             fmt_secs(p.oip_sr),
             fmt_secs(p.psum_sr),
-            p.mtx_sr.map(fmt_secs).unwrap_or_else(|| "(too large)".into()),
+            p.mtx_sr
+                .map(fmt_secs)
+                .unwrap_or_else(|| "(too large)".into()),
         ]);
     }
     out.push_str(&format!("{t}\n"));
@@ -167,7 +170,9 @@ mod tests {
     #[test]
     fn shapes_hold_at_tiny_scale() {
         // A miniature run that still checks the orderings the paper reports.
-        let opts = SimRankOptions::default().with_damping(0.6).with_epsilon(1e-3);
+        let opts = SimRankOptions::default()
+            .with_damping(0.6)
+            .with_epsilon(1e-3);
         let d = simrank_datasets::berkstan_like(400, 7);
         let (_, r_oip) = oip::oip_simrank_with_report(&d.graph, &opts);
         let (_, r_psum) = psum::psum_simrank_with_report(&d.graph, &opts);

@@ -39,7 +39,9 @@ impl PhaseSplit {
 
 /// Runs OIP-SR and OIP-DSR on BERKSTAN-sim and PATENT-sim at ε = 0.001.
 pub fn run(scale: Scale, seed: u64) -> Vec<PhaseSplit> {
-    let opts = SimRankOptions::default().with_damping(0.6).with_epsilon(1e-3);
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_epsilon(1e-3);
     let mut out = Vec::new();
     for d in [
         datasets::berkstan_like(scale.berkstan_nodes(), seed),

@@ -32,7 +32,9 @@ pub struct DensityPoint {
 
 /// Runs the sweep at fixed ε = 0.001, C = 0.6.
 pub fn run(scale: Scale, seed: u64) -> Vec<DensityPoint> {
-    let opts = SimRankOptions::default().with_damping(0.6).with_epsilon(1e-3);
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_epsilon(1e-3);
     let n = scale.syn_nodes();
     scale
         .density_sweep()

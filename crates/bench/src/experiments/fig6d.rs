@@ -47,7 +47,9 @@ pub struct Fig6d {
 
 /// Runs the memory experiment.
 pub fn run(scale: Scale, seed: u64) -> Fig6d {
-    let opts = SimRankOptions::default().with_damping(0.6).with_epsilon(1e-3);
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_epsilon(1e-3);
     let mut dblp = Vec::new();
     for snap in datasets::DblpSnapshot::ALL {
         let d = datasets::dblp_like(snap, scale.dblp_scale_div(), seed);
@@ -60,7 +62,9 @@ pub fn run(scale: Scale, seed: u64) -> Fig6d {
         // paying the O(n³) SVD just to read the counter.
         let n = d.graph.node_count();
         let mtx_bytes = if n <= crate::experiments::fig6a::MTX_NODE_CAP {
-            mtx::mtx_simrank_with_report(&d.graph, &opts, None).1.peak_intermediate_bytes
+            mtx::mtx_simrank_with_report(&d.graph, &opts, None)
+                .1
+                .peak_intermediate_bytes
         } else {
             (3 * n * n + 2 * n * n + 3 * n * n) * 8
         };
@@ -74,8 +78,14 @@ pub fn run(scale: Scale, seed: u64) -> Fig6d {
     }
     let mut sweeps = Vec::new();
     for (d, ks) in [
-        (datasets::berkstan_like(scale.berkstan_nodes(), seed), scale.berkstan_k_sweep()),
-        (datasets::patent_like(scale.patent_nodes(), seed), scale.patent_k_sweep()),
+        (
+            datasets::berkstan_like(scale.berkstan_nodes(), seed),
+            scale.berkstan_k_sweep(),
+        ),
+        (
+            datasets::patent_like(scale.patent_nodes(), seed),
+            scale.patent_k_sweep(),
+        ),
     ] {
         let plan = SharingPlan::build(&d.graph, &opts);
         let points = ks
@@ -93,7 +103,10 @@ pub fn run(scale: Scale, seed: u64) -> Fig6d {
                 )
             })
             .collect();
-        sweeps.push(KMemSeries { dataset: d.name, points });
+        sweeps.push(KMemSeries {
+            dataset: d.name,
+            points,
+        });
     }
     Fig6d { dblp, sweeps }
 }
@@ -115,7 +128,12 @@ pub fn render(fig: &Fig6d) -> String {
     for s in &fig.sweeps {
         let mut t = Table::new(&["K", "OIP-DSR", "OIP-SR", "psum-SR"]);
         for &(k, a, b, c) in &s.points {
-            t.row(vec![k.to_string(), fmt_bytes(a), fmt_bytes(b), fmt_bytes(c)]);
+            t.row(vec![
+                k.to_string(),
+                fmt_bytes(a),
+                fmt_bytes(b),
+                fmt_bytes(c),
+            ]);
         }
         out.push_str(&format!("{} (iteration sweep)\n{t}\n", s.dataset));
     }
@@ -150,12 +168,15 @@ mod tests {
             let o = base.with_iterations(k);
             let (_, r_oip) = oip::oip_simrank_with_plan(&d.graph, &plan, &o);
             if let Some(p) = prev {
-                assert_eq!(r_oip.peak_intermediate_bytes, p, "OIP memory must be flat in K");
+                assert_eq!(
+                    r_oip.peak_intermediate_bytes, p,
+                    "OIP memory must be flat in K"
+                );
             }
             prev = Some(r_oip.peak_intermediate_bytes);
             let (_, r_psum) = psum::psum_simrank_with_report(&d.graph, &o);
-            let ratio = r_oip.peak_intermediate_bytes as f64
-                / r_psum.peak_intermediate_bytes as f64;
+            let ratio =
+                r_oip.peak_intermediate_bytes as f64 / r_psum.peak_intermediate_bytes as f64;
             assert!(
                 ratio < 12.0,
                 "OIP intermediate memory should stay within a small multiple of psum, got {ratio}"

@@ -101,12 +101,20 @@ mod tests {
         let points = run(Scale::Quick, 3);
         assert_eq!(points.len(), 5);
         for p in &points {
-            assert!(p.oip_sr > 0 && p.oip_dsr > 0, "crossing not found for {:?}", p.epsilon);
+            assert!(
+                p.oip_sr > 0 && p.oip_dsr > 0,
+                "crossing not found for {:?}",
+                p.epsilon
+            );
             assert!(p.oip_dsr <= 10, "DSR should stay single-digit-ish: {:?}", p);
         }
         // At ε = 1e-6 the conventional model needs dozens of iterations.
         let tight = points.last().expect("non-empty");
-        assert!(tight.oip_sr >= 25, "OIP-SR took only {} iterations", tight.oip_sr);
+        assert!(
+            tight.oip_sr >= 25,
+            "OIP-SR took only {} iterations",
+            tight.oip_sr
+        );
         assert!(tight.oip_sr > 3 * tight.oip_dsr);
         // Iteration counts are monotone in accuracy.
         for w in points.windows(2) {

@@ -41,8 +41,7 @@ pub struct Fig6f {
 /// Runs the experiment.
 pub fn run(scale: Scale, seed: u64) -> Fig6f {
     let points = fig6e::run(scale, seed);
-    let lamw: Vec<Option<u32>> =
-        points.iter().map(|p| p.lambert_est).collect();
+    let lamw: Vec<Option<u32>> = points.iter().map(|p| p.lambert_est).collect();
     let log: Vec<Option<u32>> = points.iter().map(|p| p.log_est).collect();
     Fig6f {
         lamw_matches_paper: lamw == PAPER_LAMW,
@@ -53,14 +52,20 @@ pub fn run(scale: Scale, seed: u64) -> Fig6f {
 
 /// Renders the table with the match verdicts.
 pub fn render(fig: &Fig6f) -> String {
-    let body = fig6e::render(&fig.points).replace(
-        "Fig. 6e — convergence rate",
-        "Fig. 6f — bounds on K",
-    );
+    let body =
+        fig6e::render(&fig.points).replace("Fig. 6e — convergence rate", "Fig. 6f — bounds on K");
     format!(
         "{body}analytic columns match paper: LamW {} | Log {}\n",
-        if fig.lamw_matches_paper { "EXACT" } else { "DIFFERS" },
-        if fig.log_matches_paper { "EXACT" } else { "DIFFERS" },
+        if fig.lamw_matches_paper {
+            "EXACT"
+        } else {
+            "DIFFERS"
+        },
+        if fig.log_matches_paper {
+            "EXACT"
+        } else {
+            "DIFFERS"
+        },
     )
 }
 
@@ -68,7 +73,12 @@ pub fn render(fig: &Fig6f) -> String {
 pub fn analytic_columns(c: f64, epsilons: &[f64]) -> Vec<(Option<u32>, Option<u32>)> {
     epsilons
         .iter()
-        .map(|&e| (convergence::lambert_w_estimate(c, e), convergence::log_estimate(c, e)))
+        .map(|&e| {
+            (
+                convergence::lambert_w_estimate(c, e),
+                convergence::log_estimate(c, e),
+            )
+        })
         .collect()
 }
 

@@ -122,7 +122,11 @@ mod tests {
         let points = run(Scale::Quick, 11);
         assert_eq!(points.len(), 3);
         // Top-10: both essentially perfect (paper: identical top-10 lists).
-        assert!(points[0].oip_dsr > 0.95, "NDCG@10 dsr = {}", points[0].oip_dsr);
+        assert!(
+            points[0].oip_dsr > 0.95,
+            "NDCG@10 dsr = {}",
+            points[0].oip_dsr
+        );
         assert!(points[0].oip_sr > 0.95);
         // Deeper cutoffs: both high, DSR within a few percent of OIP-SR.
         for pt in &points {

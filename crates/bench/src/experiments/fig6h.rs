@@ -7,7 +7,7 @@
 
 use crate::scale::Scale;
 use crate::table::Table;
-use simrank_core::{dsr, oip, SimRankOptions, topk};
+use simrank_core::{dsr, oip, topk, SimRankOptions};
 use simrank_eval::{adjacent_inversions, kendall_tau_distance, top_k_overlap};
 use simrank_graph::{gen, NodeId};
 
@@ -39,7 +39,9 @@ pub struct Fig6h {
 pub fn run(scale: Scale, seed: u64) -> Fig6h {
     let n = scale.convergence_nodes();
     let g = gen::coauthor_graph(gen::CoauthorParams::dblp_like(n), seed);
-    let opts = SimRankOptions::default().with_damping(0.6).with_epsilon(1e-3);
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_epsilon(1e-3);
     let query = g
         .nodes()
         .max_by_key(|&v| (g.in_degree(v), std::cmp::Reverse(v)))
@@ -54,10 +56,14 @@ pub fn run(scale: Scale, seed: u64) -> Fig6h {
     let mut union: Vec<NodeId> = dsr_top.iter().chain(&oip_top).copied().collect();
     union.sort_unstable();
     union.dedup();
-    let dsr_scores: Vec<f64> =
-        union.iter().map(|&v| s_dsr.get(query as usize, v as usize)).collect();
-    let oip_scores: Vec<f64> =
-        union.iter().map(|&v| s_oip.get(query as usize, v as usize)).collect();
+    let dsr_scores: Vec<f64> = union
+        .iter()
+        .map(|&v| s_dsr.get(query as usize, v as usize))
+        .collect();
+    let oip_scores: Vec<f64> = union
+        .iter()
+        .map(|&v| s_oip.get(query as usize, v as usize))
+        .collect();
     let score_spread = oip_ranked.first().map(|p| p.1).unwrap_or(0.0)
         - oip_ranked.last().map(|p| p.1).unwrap_or(0.0);
     Fig6h {
@@ -89,8 +95,7 @@ pub fn render(fig: &Fig6h) -> String {
         "Fig. 6h — top-30 co-authors of author_{:05} (most prolific)\n{t}\
          overlap {:.2} | adjacent inversions {} | Kendall tau distance {} | \
          score tau {:.3} | top-30 score spread {:.4}\n",
-        fig.query, fig.overlap, fig.adjacent_inv, fig.tau_distance, fig.score_tau,
-        fig.score_spread
+        fig.query, fig.overlap, fig.adjacent_inv, fig.tau_distance, fig.score_tau, fig.score_spread
     )
 }
 

@@ -18,8 +18,8 @@ impl Scale {
     /// BERKSTAN-sim vertex count.
     pub fn berkstan_nodes(self) -> usize {
         match self {
-            Scale::Quick => 685_230 / 512,  // ≈ 1.3K
-            Scale::Full => 685_230 / 256,   // ≈ 2.7K
+            Scale::Quick => 685_230 / 512, // ≈ 1.3K
+            Scale::Full => 685_230 / 256,  // ≈ 2.7K
         }
     }
 
@@ -100,6 +100,9 @@ mod tests {
 
     #[test]
     fn epsilon_sweep_matches_fig6f() {
-        assert_eq!(Scale::Full.epsilon_sweep(), vec![1e-2, 1e-3, 1e-4, 1e-5, 1e-6]);
+        assert_eq!(
+            Scale::Full.epsilon_sweep(),
+            vec![1e-2, 1e-3, 1e-4, 1e-5, 1e-6]
+        );
     }
 }

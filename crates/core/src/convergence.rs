@@ -56,7 +56,10 @@ pub fn differential_iterations(c: f64, eps: f64) -> u32 {
 /// The principal branch `W₀(x)` of the Lambert W function for `x ≥ -1/e`,
 /// via Halley iteration (used by Corollary 1 and cited from Hassani \[9\]).
 pub fn lambert_w0(x: f64) -> f64 {
-    assert!(x >= -1.0 / std::f64::consts::E, "W0 domain is x >= -1/e, got {x}");
+    assert!(
+        x >= -1.0 / std::f64::consts::E,
+        "W0 domain is x >= -1/e, got {x}"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -154,7 +157,10 @@ mod tests {
     fn lambert_w_identity() {
         for &x in &[0.0, 0.1, 0.5, 1.0, 2.754, 3.8128, 10.0, 100.0] {
             let w = lambert_w0(x);
-            assert!((w * w.exp() - x).abs() < 1e-10, "W({x}) identity failed: {w}");
+            assert!(
+                (w * w.exp() - x).abs() < 1e-10,
+                "W({x}) identity failed: {w}"
+            );
         }
         // W(-1/e) = -1.
         assert!((lambert_w0(-1.0 / std::f64::consts::E) + 1.0).abs() < 1e-6);

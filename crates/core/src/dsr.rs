@@ -34,8 +34,14 @@ pub fn oip_dsr_simrank(g: &DiGraph, opts: &SimRankOptions) -> SimMatrix {
 /// As [`oip_dsr_simrank`], also returning instrumentation.
 pub fn oip_dsr_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatrix, Report) {
     let plan = SharingPlan::build(g, opts);
-    let (grid, report) =
-        engine::run(g, &plan, opts, Mode::Differential, opts.differential_iterations(), None);
+    let (grid, report) = engine::run(
+        g,
+        &plan,
+        opts,
+        Mode::Differential,
+        opts.differential_iterations(),
+        None,
+    );
     (grid.to_sim_matrix(), report)
 }
 
@@ -48,8 +54,14 @@ pub fn oip_dsr_simrank_observe(
     mut observer: impl FnMut(u32, &ScoreGrid),
 ) -> (SimMatrix, Report) {
     let plan = SharingPlan::build(g, opts);
-    let (grid, report) =
-        engine::run(g, &plan, opts, Mode::Differential, iterations, Some(&mut observer));
+    let (grid, report) = engine::run(
+        g,
+        &plan,
+        opts,
+        Mode::Differential,
+        iterations,
+        Some(&mut observer),
+    );
     (grid.to_sim_matrix(), report)
 }
 
@@ -59,8 +71,14 @@ pub fn oip_dsr_simrank_with_plan(
     plan: &SharingPlan,
     opts: &SimRankOptions,
 ) -> (SimMatrix, Report) {
-    let (grid, report) =
-        engine::run(g, plan, opts, Mode::Differential, opts.differential_iterations(), None);
+    let (grid, report) = engine::run(
+        g,
+        plan,
+        opts,
+        Mode::Differential,
+        opts.differential_iterations(),
+        None,
+    );
     (grid.to_sim_matrix(), report)
 }
 
@@ -76,7 +94,9 @@ mod tests {
     fn matches_matrix_reference_on_fixture() {
         let g = paper_fig1a();
         for k in [1u32, 3, 6] {
-            let opts = SimRankOptions::default().with_damping(0.6).with_iterations(k);
+            let opts = SimRankOptions::default()
+                .with_damping(0.6)
+                .with_iterations(k);
             let fast = oip_dsr_simrank(&g, &opts);
             let reference = dsr_matrix_reference(&g, 0.6, k);
             let mut worst = 0.0f64;
@@ -93,7 +113,9 @@ mod tests {
     fn matches_matrix_reference_on_random_graphs() {
         for seed in 0..4 {
             let g = gen::gnm(35, 140, seed);
-            let opts = SimRankOptions::default().with_damping(0.7).with_iterations(5);
+            let opts = SimRankOptions::default()
+                .with_damping(0.7)
+                .with_iterations(5);
             let fast = oip_dsr_simrank(&g, &opts);
             let reference = dsr_matrix_reference(&g, 0.7, 5);
             for a in 0..35 {
@@ -113,8 +135,12 @@ mod tests {
         // high-iteration reference.
         let g = paper_fig1a();
         let c = 0.8;
-        let reference =
-            oip_dsr_simrank(&g, &SimRankOptions::default().with_damping(c).with_iterations(30));
+        let reference = oip_dsr_simrank(
+            &g,
+            &SimRankOptions::default()
+                .with_damping(c)
+                .with_iterations(30),
+        );
         for k in 1..8 {
             let opts = SimRankOptions::default().with_damping(c).with_iterations(k);
             let s_k = oip_dsr_simrank(&g, &opts);
@@ -157,7 +183,9 @@ mod tests {
     #[test]
     fn diagonal_of_sources_is_e_minus_c() {
         let g = paper_fig1a();
-        let opts = SimRankOptions::default().with_damping(0.6).with_iterations(8);
+        let opts = SimRankOptions::default()
+            .with_damping(0.6)
+            .with_iterations(8);
         let s = oip_dsr_simrank(&g, &opts);
         // f (id 5) has no in-edges: T_k(f,f) = 0 for k ≥ 1, so Ŝ(f,f) = e^{-C}.
         assert!((s.get(5, 5) - (-0.6f64).exp()).abs() < 1e-12);
@@ -178,8 +206,14 @@ mod tests {
     #[test]
     fn epsilon_resolves_to_few_iterations() {
         let g = paper_fig1a();
-        let opts = SimRankOptions::default().with_damping(0.8).with_epsilon(1e-4);
+        let opts = SimRankOptions::default()
+            .with_damping(0.8)
+            .with_epsilon(1e-4);
         let (_, r) = oip_dsr_simrank_with_report(&g, &opts);
-        assert!(r.iterations <= 8, "differential run took {} iterations", r.iterations);
+        assert!(
+            r.iterations <= 8,
+            "differential run took {} iterations",
+            r.iterations
+        );
     }
 }

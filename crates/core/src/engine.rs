@@ -84,7 +84,11 @@ pub fn run(
         mem.alloc(2 * n * 8);
     }
 
-    let in_deg: Vec<f64> = plan.targets.iter().map(|&v| g.in_degree(v) as f64).collect();
+    let in_deg: Vec<f64> = plan
+        .targets
+        .iter()
+        .map(|&v| g.in_degree(v) as f64)
+        .collect();
     let damping = match mode {
         Mode::Conventional => opts.damping,
         Mode::Differential => 1.0,
@@ -103,7 +107,11 @@ pub fn run(
                     }
                     counter.add(((ins.len() as u64).saturating_sub(1)) * n as u64);
                 }
-                Step::CopyUpdate { t, parent_slot, slot } => {
+                Step::CopyUpdate {
+                    t,
+                    parent_slot,
+                    slot,
+                } => {
                     // Split-borrow the two distinct slots.
                     let (src, dst) = borrow_two(&mut pool, parent_slot as usize, slot as usize);
                     dst.copy_from_slice(src);
@@ -173,13 +181,7 @@ pub fn run(
 
 /// Applies a Proposition 3 update to a partial-sum buffer.
 #[inline]
-fn apply_update(
-    cur: &ScoreGrid,
-    op: &EdgeOp,
-    buf: &mut [f64],
-    counter: &mut OpCounter,
-    n: usize,
-) {
+fn apply_update(cur: &ScoreGrid, op: &EdgeOp, buf: &mut [f64], counter: &mut OpCounter, n: usize) {
     match op {
         EdgeOp::Scratch => unreachable!("schedule maps Scratch ops to Scratch steps"),
         EdgeOp::Update { sub, add } => {
@@ -227,8 +229,10 @@ fn emit_source(
                     s
                 }
                 EdgeOp::Update { sub, add } => {
-                    let parent =
-                        plan.arb.parent(node as usize).expect("non-root node has a parent");
+                    let parent = plan
+                        .arb
+                        .parent(node as usize)
+                        .expect("non-root node has a parent");
                     let mut s = outer[parent];
                     for &y in sub.iter() {
                         s -= partial[y as usize];
@@ -241,7 +245,17 @@ fn emit_source(
                 }
             };
             outer[node as usize] = val;
-            write_score(row, opts, mode, damping, u, plan.targets[wt] as usize, du, in_deg[wt], val);
+            write_score(
+                row,
+                opts,
+                mode,
+                damping,
+                u,
+                plan.targets[wt] as usize,
+                du,
+                in_deg[wt],
+                val,
+            );
         }
     } else {
         // Ablation: outer sums accumulated one-by-one, as in psum-SR Eq. (5).
@@ -358,11 +372,17 @@ mod tests {
         ];
         for &(x, want) in &expect_a {
             let got = s3.get(x, 0);
-            assert!((got - want).abs() < 0.011, "s3({x}, a): got {got}, paper {want}");
+            assert!(
+                (got - want).abs() < 0.011,
+                "s3({x}, a): got {got}, paper {want}"
+            );
         }
         for &(x, want) in &expect_c {
             let got = s3.get(x, 2);
-            assert!((got - want).abs() < 0.011, "s3({x}, c): got {got}, paper {want}");
+            assert!(
+                (got - want).abs() < 0.011,
+                "s3({x}, c): got {got}, paper {want}"
+            );
         }
     }
 
@@ -429,7 +449,10 @@ mod tests {
         for a in 0..9 {
             for b in 0..9 {
                 let v = s.get(a, b);
-                assert!(v == 0.0 || v >= 0.5 || a == b, "sieved value {v} at ({a},{b})");
+                assert!(
+                    v == 0.0 || v >= 0.5 || a == b,
+                    "sieved value {v} at ({a},{b})"
+                );
             }
         }
     }

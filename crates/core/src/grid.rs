@@ -22,7 +22,10 @@ pub struct ScoreGrid {
 impl ScoreGrid {
     /// All-zeros grid.
     pub fn zeros(n: usize) -> Self {
-        ScoreGrid { n, data: vec![0.0; n * n] }
+        ScoreGrid {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Identity grid (`S₀`).

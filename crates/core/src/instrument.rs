@@ -82,7 +82,9 @@ pub struct PhaseTimer {
 impl PhaseTimer {
     /// Starts timing.
     pub fn start() -> Self {
-        PhaseTimer { started: Instant::now() }
+        PhaseTimer {
+            started: Instant::now(),
+        }
     }
 
     /// Elapsed time since start (or last [`PhaseTimer::lap`]).
@@ -154,8 +156,14 @@ mod tests {
 
     #[test]
     fn share_ratio() {
-        let fast = Report { adds: 30, ..Default::default() };
-        let slow = Report { adds: 100, ..Default::default() };
+        let fast = Report {
+            adds: 30,
+            ..Default::default()
+        };
+        let slow = Report {
+            adds: 100,
+            ..Default::default()
+        };
         assert!((fast.share_ratio_vs(&slow) - 0.7).abs() < 1e-12);
         let empty = Report::default();
         assert_eq!(fast.share_ratio_vs(&empty), 0.0);

@@ -24,7 +24,10 @@ fn tri(i: usize) -> usize {
 impl SimMatrix {
     /// All-zeros matrix.
     pub fn zeros(n: usize) -> Self {
-        SimMatrix { n, data: vec![0.0; tri(n)] }
+        SimMatrix {
+            n,
+            data: vec![0.0; tri(n)],
+        }
     }
 
     /// Identity matrix — the SimRank iteration seed `S₀`.
@@ -148,9 +151,7 @@ impl SimMatrix {
 
     /// Iterates `(a, b, value)` over the stored triangle (`a ≤ b`).
     pub fn iter_upper(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.n).flat_map(move |hi| {
-            (0..=hi).map(move |lo| (lo, hi, self.data[tri(hi) + lo]))
-        })
+        (0..self.n).flat_map(move |hi| (0..=hi).map(move |lo| (lo, hi, self.data[tri(hi) + lo])))
     }
 }
 

@@ -162,7 +162,9 @@ mod tests {
         // are discarded), but on the fixture the dominant mass is the first
         // meeting — statistical agreement within a loose tolerance.
         let g = paper_fig1a();
-        let opts = SimRankOptions::default().with_damping(0.6).with_iterations(15);
+        let opts = SimRankOptions::default()
+            .with_damping(0.6)
+            .with_iterations(15);
         let exact = naive_simrank(&g, &opts);
         let est = mc_simrank_pair(&g, 0, 2, &opts, 15, 30_000, 7);
         let want = exact.get(0, 2);

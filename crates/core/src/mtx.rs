@@ -50,13 +50,7 @@ pub fn mtx_simrank_with_report(
     let w = svd.v.transpose().matmul(u); // r × r
     let sigma = &svd.sigma;
     // N₁ = Σ²; M = Σᵢ Cⁱ·Nᵢ.
-    let mut n_i = DenseMatrix::from_fn(r, r, |i, j| {
-        if i == j {
-            sigma[i] * sigma[i]
-        } else {
-            0.0
-        }
-    });
+    let mut n_i = DenseMatrix::from_fn(r, r, |i, j| if i == j { sigma[i] * sigma[i] } else { 0.0 });
     let mut m = DenseMatrix::zeros(r, r);
     let mut coef = c;
     for _ in 0..k_max {
@@ -74,7 +68,11 @@ pub fn mtx_simrank_with_report(
     for a in 0..n {
         for b in a..n {
             let base = if a == b { 1.0 } else { 0.0 };
-            out.set(a, b, (1.0 - c) * (base + 0.5 * (umut.get(a, b) + umut.get(b, a))));
+            out.set(
+                a,
+                b,
+                (1.0 - c) * (base + 0.5 * (umut.get(a, b) + umut.get(b, a))),
+            );
         }
     }
     let iterate = timer.lap();
@@ -100,7 +98,9 @@ mod tests {
     #[test]
     fn full_rank_matches_matrix_form() {
         let g = paper_fig1a();
-        let opts = SimRankOptions::default().with_damping(0.6).with_iterations(25);
+        let opts = SimRankOptions::default()
+            .with_damping(0.6)
+            .with_iterations(25);
         let via_svd = mtx_simrank(&g, &opts, None);
         let reference = matrix_form_simrank(&g, 0.6, 25);
         for a in 0..9 {
@@ -118,7 +118,9 @@ mod tests {
     #[test]
     fn full_rank_matches_on_random_graph() {
         let g = gen::gnm(25, 90, 3);
-        let opts = SimRankOptions::default().with_damping(0.7).with_iterations(30);
+        let opts = SimRankOptions::default()
+            .with_damping(0.7)
+            .with_iterations(30);
         let via_svd = mtx_simrank(&g, &opts, None);
         let reference = matrix_form_simrank(&g, 0.7, 30);
         for a in 0..25 {

@@ -89,7 +89,9 @@ mod tests {
     fn shared_parent_pair() {
         // 0 -> 1, 0 -> 2: s(1,2) = C/(1·1)·s(0,0) = C, fixed point after k≥1.
         let g = DiGraph::from_edges(3, [(0, 1), (0, 2)]).unwrap();
-        let opts = SimRankOptions::default().with_damping(0.6).with_iterations(3);
+        let opts = SimRankOptions::default()
+            .with_damping(0.6)
+            .with_iterations(3);
         let s = naive_simrank(&g, &opts);
         assert!((s.get(1, 2) - 0.6).abs() < 1e-12);
         assert_eq!(s.get(0, 1), 0.0);
@@ -125,10 +127,8 @@ mod tests {
     #[test]
     fn counts_pair_products() {
         let g = DiGraph::from_edges(3, [(0, 1), (0, 2)]).unwrap();
-        let (_, report) = naive_simrank_with_report(
-            &g,
-            &SimRankOptions::default().with_iterations(1),
-        );
+        let (_, report) =
+            naive_simrank_with_report(&g, &SimRankOptions::default().with_iterations(1));
         // Pairs (1,2) and (2,1): each |I|·|I| - 1 = 0 adds... product 1·1=1,
         // minus 1 = 0. Still runs without counting anything.
         assert_eq!(report.adds, 0);

@@ -25,8 +25,14 @@ pub fn oip_simrank(g: &DiGraph, opts: &SimRankOptions) -> SimMatrix {
 /// phase timings, addition counts — the measurements behind Fig. 6a–6d).
 pub fn oip_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatrix, Report) {
     let plan = SharingPlan::build(g, opts);
-    let (grid, report) =
-        engine::run(g, &plan, opts, Mode::Conventional, opts.conventional_iterations(), None);
+    let (grid, report) = engine::run(
+        g,
+        &plan,
+        opts,
+        Mode::Conventional,
+        opts.conventional_iterations(),
+        None,
+    );
     (grid.to_sim_matrix(), report)
 }
 
@@ -40,8 +46,14 @@ pub fn oip_simrank_observe(
     mut observer: impl FnMut(u32, &ScoreGrid),
 ) -> (SimMatrix, Report) {
     let plan = SharingPlan::build(g, opts);
-    let (grid, report) =
-        engine::run(g, &plan, opts, Mode::Conventional, iterations, Some(&mut observer));
+    let (grid, report) = engine::run(
+        g,
+        &plan,
+        opts,
+        Mode::Conventional,
+        iterations,
+        Some(&mut observer),
+    );
     (grid.to_sim_matrix(), report)
 }
 
@@ -52,8 +64,14 @@ pub fn oip_simrank_with_plan(
     plan: &SharingPlan,
     opts: &SimRankOptions,
 ) -> (SimMatrix, Report) {
-    let (grid, report) =
-        engine::run(g, plan, opts, Mode::Conventional, opts.conventional_iterations(), None);
+    let (grid, report) = engine::run(
+        g,
+        plan,
+        opts,
+        Mode::Conventional,
+        opts.conventional_iterations(),
+        None,
+    );
     (grid.to_sim_matrix(), report)
 }
 
@@ -84,7 +102,11 @@ mod tests {
             let opts = SimRankOptions::default().with_iterations(6);
             let (a, _) = psum_simrank_with_report(&g, &opts);
             let b = oip_simrank(&g, &opts);
-            assert!(a.max_abs_diff(&b) < 1e-10, "seed {seed}: {}", a.max_abs_diff(&b));
+            assert!(
+                a.max_abs_diff(&b) < 1e-10,
+                "seed {seed}: {}",
+                a.max_abs_diff(&b)
+            );
         }
     }
 
@@ -100,7 +122,11 @@ mod tests {
         for (i, g) in graphs.iter().enumerate() {
             let a = naive_simrank(g, &opts);
             let b = oip_simrank(g, &opts);
-            assert!(a.max_abs_diff(&b) < 1e-10, "graph {i}: {}", a.max_abs_diff(&b));
+            assert!(
+                a.max_abs_diff(&b) < 1e-10,
+                "graph {i}: {}",
+                a.max_abs_diff(&b)
+            );
         }
     }
 
@@ -168,7 +194,9 @@ mod tests {
     #[test]
     fn epsilon_driven_iteration_count() {
         let g = paper_fig1a();
-        let opts = SimRankOptions::default().with_damping(0.6).with_epsilon(1e-3);
+        let opts = SimRankOptions::default()
+            .with_damping(0.6)
+            .with_epsilon(1e-3);
         let (_, r) = oip_simrank_with_report(&g, &opts);
         // K = ⌈log_0.6 1e-3⌉ = ⌈13.52⌉ = 14.
         assert_eq!(r.iterations, 14);

@@ -67,7 +67,10 @@ impl Default for SimRankOptions {
 impl SimRankOptions {
     /// Sets the damping factor `C` (must lie strictly inside `(0, 1)`).
     pub fn with_damping(mut self, c: f64) -> Self {
-        assert!(c > 0.0 && c < 1.0, "damping factor must be in (0, 1), got {c}");
+        assert!(
+            c > 0.0 && c < 1.0,
+            "damping factor must be in (0, 1), got {c}"
+        );
         self.damping = c;
         self
     }
@@ -80,7 +83,10 @@ impl SimRankOptions {
 
     /// Sets the target accuracy `ε` (and clears an explicit `K`).
     pub fn with_epsilon(mut self, eps: f64) -> Self {
-        assert!(eps > 0.0 && eps < 1.0, "epsilon must be in (0, 1), got {eps}");
+        assert!(
+            eps > 0.0 && eps < 1.0,
+            "epsilon must be in (0, 1), got {eps}"
+        );
         self.epsilon = eps;
         self.iterations = None;
         self
@@ -167,7 +173,9 @@ mod tests {
     fn paper_iteration_example() {
         // Paper §IV: C = 0.8, ε = 1e-4 needs K = ⌈log_0.8 1e-4⌉ = 42 for the
         // conventional model but only ~7 for the differential model.
-        let o = SimRankOptions::default().with_damping(0.8).with_epsilon(1e-4);
+        let o = SimRankOptions::default()
+            .with_damping(0.8)
+            .with_epsilon(1e-4);
         assert_eq!(o.conventional_iterations(), 42);
         assert!(o.differential_iterations() <= 8);
     }

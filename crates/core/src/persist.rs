@@ -54,12 +54,14 @@ pub fn write_scores<W: Write>(scores: &SimMatrix, mut w: W) -> Result<(), Persis
 /// Deserializes scores from a reader.
 pub fn read_scores<R: Read>(mut r: R) -> Result<SimMatrix, PersistError> {
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic).map_err(|_| PersistError::Codec("truncated header".into()))?;
+    r.read_exact(&mut magic)
+        .map_err(|_| PersistError::Codec("truncated header".into()))?;
     if magic != MAGIC {
         return Err(PersistError::Codec(format!("bad magic {magic:?}")));
     }
     let mut nb = [0u8; 4];
-    r.read_exact(&mut nb).map_err(|_| PersistError::Codec("truncated order".into()))?;
+    r.read_exact(&mut nb)
+        .map_err(|_| PersistError::Codec("truncated order".into()))?;
     let n = u32::from_le_bytes(nb) as usize;
     let mut out = SimMatrix::zeros(n);
     let mut buf = [0u8; 8];
@@ -101,7 +103,10 @@ mod tests {
     use simrank_graph::fixtures::paper_fig1a;
 
     fn sample() -> SimMatrix {
-        oip_simrank(&paper_fig1a(), &SimRankOptions::default().with_iterations(5))
+        oip_simrank(
+            &paper_fig1a(),
+            &SimRankOptions::default().with_iterations(5),
+        )
     }
 
     #[test]
@@ -141,7 +146,10 @@ mod tests {
         // Trailing garbage.
         let mut long = buf.clone();
         long.push(0);
-        assert!(matches!(read_scores(&long[..]), Err(PersistError::Codec(_))));
+        assert!(matches!(
+            read_scores(&long[..]),
+            Err(PersistError::Codec(_))
+        ));
     }
 
     #[test]

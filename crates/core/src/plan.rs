@@ -147,7 +147,10 @@ impl SharingPlan {
                 };
                 if prefer_update {
                     let (sub, add) = setops::difference_lists(ins_p, ins_v);
-                    EdgeOp::Update { sub: sub.into(), add: add.into() }
+                    EdgeOp::Update {
+                        sub: sub.into(),
+                        add: add.into(),
+                    }
                 } else {
                     EdgeOp::Scratch
                 }
@@ -283,7 +286,11 @@ impl SharingPlan {
         enum Frame {
             /// Compute `node`'s partial (allocating or inheriting a slot),
             /// emit it, then descend.
-            Enter { node: usize, parent_slot: u32, inplace: bool },
+            Enter {
+                node: usize,
+                parent_slot: u32,
+                inplace: bool,
+            },
             /// Visit the `idx`-th child of `node`.
             Children { node: usize, idx: usize },
             /// Release `node`'s slot back to the pool.
@@ -294,11 +301,19 @@ impl SharingPlan {
         // Root children each start a fresh (scratch) buffer; release after.
         for &rc in children[0].iter().rev() {
             stack.push(Frame::Release { node: rc });
-            stack.push(Frame::Enter { node: rc, parent_slot: u32::MAX, inplace: false });
+            stack.push(Frame::Enter {
+                node: rc,
+                parent_slot: u32::MAX,
+                inplace: false,
+            });
         }
         while let Some(frame) = stack.pop() {
             match frame {
-                Frame::Enter { node, parent_slot, inplace } => {
+                Frame::Enter {
+                    node,
+                    parent_slot,
+                    inplace,
+                } => {
                     let slot = if inplace {
                         parent_slot
                     } else {
@@ -316,9 +331,11 @@ impl SharingPlan {
                     let step = match (&ops[node - 1], inplace) {
                         (EdgeOp::Scratch, _) => Step::Scratch { t, slot },
                         (EdgeOp::Update { .. }, true) => Step::InPlace { t, slot },
-                        (EdgeOp::Update { .. }, false) => {
-                            Step::CopyUpdate { t, parent_slot, slot }
-                        }
+                        (EdgeOp::Update { .. }, false) => Step::CopyUpdate {
+                            t,
+                            parent_slot,
+                            slot,
+                        },
                     };
                     steps.push(step);
                     steps.push(Step::Emit { t, slot });
@@ -480,7 +497,11 @@ mod tests {
         for step in &plan.schedule {
             match *step {
                 Step::Scratch { t, slot } => holder[slot as usize] = Some(t),
-                Step::CopyUpdate { t, parent_slot, slot } => {
+                Step::CopyUpdate {
+                    t,
+                    parent_slot,
+                    slot,
+                } => {
                     let p = parent_of(t);
                     assert_eq!(
                         holder[parent_slot as usize],
@@ -504,7 +525,11 @@ mod tests {
     #[test]
     fn slot_count_is_logarithmic_for_fixture() {
         let plan = default_plan();
-        assert!(plan.slots <= 2, "tiny fixture needs at most 2 buffers, got {}", plan.slots);
+        assert!(
+            plan.slots <= 2,
+            "tiny fixture needs at most 2 buffers, got {}",
+            plan.slots
+        );
     }
 
     #[test]

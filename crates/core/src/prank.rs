@@ -33,7 +33,10 @@ pub struct PRankOptions {
 
 impl Default for PRankOptions {
     fn default() -> Self {
-        PRankOptions { base: SimRankOptions::default(), lambda: 0.5 }
+        PRankOptions {
+            base: SimRankOptions::default(),
+            lambda: 0.5,
+        }
     }
 }
 
@@ -44,7 +47,10 @@ pub fn prank(g: &DiGraph, opts: &PRankOptions) -> SimMatrix {
 
 /// As [`prank`], also returning instrumentation.
 pub fn prank_with_report(g: &DiGraph, opts: &PRankOptions) -> (SimMatrix, Report) {
-    assert!((0.0..=1.0).contains(&opts.lambda), "lambda must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&opts.lambda),
+        "lambda must be in [0, 1]"
+    );
     let n = g.node_count();
     let c = opts.base.damping;
     let k_max = opts.base.conventional_iterations();
@@ -66,7 +72,16 @@ pub fn prank_with_report(g: &DiGraph, opts: &PRankOptions) -> (SimMatrix, Report
     for _ in 0..k_max {
         next.clear();
         // In-link half: accumulate λ·C/(..)·Σ into next.
-        half_pass(g, &in_plan, &cur, &mut next, &mut pool, &mut outer, opts.lambda * c, &mut counter);
+        half_pass(
+            g,
+            &in_plan,
+            &cur,
+            &mut next,
+            &mut pool,
+            &mut outer,
+            opts.lambda * c,
+            &mut counter,
+        );
         // Out-link half accumulates on top.
         half_pass(
             &reversed,
@@ -122,7 +137,11 @@ fn half_pass(
                 }
                 counter.add((ins.len() as u64 - 1) * n as u64);
             }
-            Step::CopyUpdate { t, parent_slot, slot } => {
+            Step::CopyUpdate {
+                t,
+                parent_slot,
+                slot,
+            } => {
                 let (a, b) = (parent_slot as usize, slot as usize);
                 let (src, dst) = if a < b {
                     let (lo, hi) = pool.split_at_mut(b);
@@ -135,7 +154,13 @@ fn half_pass(
                 apply(cur, &plan.ops[t as usize], dst, counter, n);
             }
             Step::InPlace { t, slot } => {
-                apply(cur, &plan.ops[t as usize], &mut pool[slot as usize], counter, n);
+                apply(
+                    cur,
+                    &plan.ops[t as usize],
+                    &mut pool[slot as usize],
+                    counter,
+                    n,
+                );
             }
             Step::Emit { t, slot } => {
                 let u = plan.targets[t as usize] as usize;
@@ -221,7 +246,9 @@ mod tests {
         // Direct double-sum P-Rank for one iteration on a small graph.
         let g = gen::gnm(20, 60, 5);
         let opts = PRankOptions {
-            base: SimRankOptions::default().with_iterations(1).with_damping(0.6),
+            base: SimRankOptions::default()
+                .with_iterations(1)
+                .with_damping(0.6),
             lambda: 0.5,
         };
         let fast = prank(&g, &opts);
@@ -267,7 +294,10 @@ mod tests {
         let g = gen::coauthor_graph(gen::CoauthorParams::dblp_like(50), 2);
         let pr = prank(
             &g,
-            &PRankOptions { base: SimRankOptions::default().with_iterations(8), lambda: 0.4 },
+            &PRankOptions {
+                base: SimRankOptions::default().with_iterations(8),
+                lambda: 0.4,
+            },
         );
         for (a, b, v) in pr.iter_upper() {
             assert!((0.0..=1.0 + 1e-12).contains(&v), "p({a},{b}) = {v}");
@@ -278,6 +308,12 @@ mod tests {
     #[should_panic(expected = "lambda")]
     fn rejects_bad_lambda() {
         let g = paper_fig1a();
-        let _ = prank(&g, &PRankOptions { base: SimRankOptions::default(), lambda: 1.5 });
+        let _ = prank(
+            &g,
+            &PRankOptions {
+                base: SimRankOptions::default(),
+                lambda: 1.5,
+            },
+        );
     }
 }

@@ -31,7 +31,11 @@ pub fn psum_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatri
     let mut counter = OpCounter::new();
 
     let targets: Vec<NodeId> = g.nodes_with_in_edges();
-    let components = if opts.component_filter { Some(component_labels(g)) } else { None };
+    let components = if opts.component_filter {
+        Some(component_labels(g))
+    } else {
+        None
+    };
 
     let mut cur = ScoreGrid::identity(n);
     let mut next = ScoreGrid::zeros(n);
@@ -113,7 +117,10 @@ fn component_labels(g: &DiGraph) -> Vec<u32> {
         }
         next_label += 1;
     }
-    debug_assert_eq!(next_label as usize, traversal::weakly_connected_components(g));
+    debug_assert_eq!(
+        next_label as usize,
+        traversal::weakly_connected_components(g)
+    );
     label
 }
 
@@ -166,7 +173,9 @@ mod tests {
     #[test]
     fn threshold_zeroes_small_entries() {
         let g = paper_fig1a();
-        let opts = SimRankOptions::default().with_iterations(5).with_threshold(0.1);
+        let opts = SimRankOptions::default()
+            .with_iterations(5)
+            .with_threshold(0.1);
         let s = psum_simrank(&g, &opts);
         for (a, b, v) in s.iter_upper() {
             assert!(v == 0.0 || v >= 0.1 || a == b);

@@ -61,7 +61,10 @@ pub fn difference_lists(a: &[NodeId], b: &[NodeId]) -> (Vec<NodeId>, Vec<NodeId>
 /// The paper's transition cost, Eq. (7):
 /// `TC(A → B) = min(|A ⊖ B|, |B| − 1)`.
 pub fn transition_cost(a: &[NodeId], b: &[NodeId]) -> u64 {
-    debug_assert!(!b.is_empty(), "targets of transition costs are non-empty sets");
+    debug_assert!(
+        !b.is_empty(),
+        "targets of transition costs are non-empty sets"
+    );
     let sym = symmetric_difference_size(a, b) as u64;
     sym.min(b.len() as u64 - 1)
 }

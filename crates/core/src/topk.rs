@@ -19,7 +19,9 @@ pub fn rank_by_similarity(scores: &SimMatrix, query: NodeId) -> Vec<(NodeId, f64
         .map(|v| (v, scores.get(query as usize, v as usize)))
         .collect();
     ranked.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).expect("similarity scores are finite").then(a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .expect("similarity scores are finite")
+            .then(a.0.cmp(&b.0))
     });
     ranked
 }
@@ -33,7 +35,10 @@ pub fn top_k(scores: &SimMatrix, query: NodeId, k: usize) -> Vec<(NodeId, f64)> 
 
 /// The vertex ids of the top-k ranking only.
 pub fn top_k_ids(scores: &SimMatrix, query: NodeId, k: usize) -> Vec<NodeId> {
-    top_k(scores, query, k).into_iter().map(|(v, _)| v).collect()
+    top_k(scores, query, k)
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect()
 }
 
 #[cfg(test)]
@@ -53,7 +58,10 @@ mod tests {
     fn ranking_sorted_with_deterministic_ties() {
         let r = rank_by_similarity(&sample(), 0);
         // 1 and 3 tie at 0.9: lower id first.
-        assert_eq!(r.iter().map(|&(v, _)| v).collect::<Vec<_>>(), vec![1, 3, 2, 4]);
+        assert_eq!(
+            r.iter().map(|&(v, _)| v).collect::<Vec<_>>(),
+            vec![1, 3, 2, 4]
+        );
     }
 
     #[test]

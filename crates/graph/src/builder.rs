@@ -19,7 +19,11 @@ impl GraphBuilder {
     /// default (none of the paper's networks contain them); use
     /// [`GraphBuilder::keep_self_loops`] to retain them.
     pub fn new(node_count: usize) -> Self {
-        GraphBuilder { node_count, edges: Vec::new(), allow_self_loops: false }
+        GraphBuilder {
+            node_count,
+            edges: Vec::new(),
+            allow_self_loops: false,
+        }
     }
 
     /// Pre-sizes the edge buffer.
@@ -77,7 +81,8 @@ impl GraphBuilder {
     ///
     /// Generators use this; they construct in-range edges by design.
     pub fn build(self) -> DiGraph {
-        self.try_build().expect("GraphBuilder produced invalid edges")
+        self.try_build()
+            .expect("GraphBuilder produced invalid edges")
     }
 
     /// Builds the graph, surfacing validation errors.

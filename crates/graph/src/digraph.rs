@@ -70,7 +70,12 @@ impl DiGraph {
         }
         // Edge list is sorted by (u, v), so out lists come out sorted; in
         // lists are filled in increasing source order, hence also sorted.
-        DiGraph { out_offsets, out_targets, in_offsets, in_sources }
+        DiGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
     }
 
     /// Number of vertices.
@@ -212,7 +217,13 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let err = DiGraph::from_edges(2, [(0, 5)]).unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfRange { node: 5, node_count: 2 });
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: 5,
+                node_count: 2
+            }
+        );
     }
 
     #[test]

@@ -191,7 +191,11 @@ mod tests {
     fn classics_attract_citations() {
         let g = citation_dag(CitationParams::patent_like(1500), 2);
         let s = DegreeStats::of(&g);
-        assert!(s.max_in_degree >= 15, "expected a citation classic, max={}", s.max_in_degree);
+        assert!(
+            s.max_in_degree >= 15,
+            "expected a citation classic, max={}",
+            s.max_in_degree
+        );
     }
 
     #[test]
@@ -202,7 +206,13 @@ mod tests {
         // variant of the same model.
         let base = CitationParams::patent_like(800);
         let with = citation_dag(base, 4);
-        let without = citation_dag(CitationParams { block_copy_prob: 0.0, ..base }, 4);
+        let without = citation_dag(
+            CitationParams {
+                block_copy_prob: 0.0,
+                ..base
+            },
+            4,
+        );
         let cost_ratio = |g: &DiGraph| -> f64 {
             let targets: Vec<NodeId> = g.nodes().filter(|&v| g.in_degree(v) >= 1).collect();
             let mut best_total = 0usize;

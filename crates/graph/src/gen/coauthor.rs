@@ -86,8 +86,7 @@ pub fn coauthor_graph(params: CoauthorParams, seed: u64) -> DiGraph {
             let mut guard = 0;
             while team.len() < team_size && guard < 100 {
                 guard += 1;
-                let pick: NodeId = if next_author < n && rng.gen::<f64>() < params.newcomer_prob
-                {
+                let pick: NodeId = if next_author < n && rng.gen::<f64>() < params.newcomer_prob {
                     let a = next_author as NodeId;
                     next_author += 1;
                     a
@@ -172,15 +171,24 @@ mod tests {
         // can perturb at most one team's worth of directed edges: 5*4 = 20).
         let small = coauthor_graph(CoauthorParams::dblp_like(200), 8);
         let large = coauthor_graph(CoauthorParams::dblp_like(500), 8);
-        let missing =
-            small.edges().filter(|&(u, v)| !large.has_edge(u, v)).count();
-        assert!(missing <= 20, "snapshots diverged by {missing} edges (cap 20)");
+        let missing = small
+            .edges()
+            .filter(|&(u, v)| !large.has_edge(u, v))
+            .count();
+        assert!(
+            missing <= 20,
+            "snapshots diverged by {missing} edges (cap 20)"
+        );
     }
 
     #[test]
     fn prolific_authors_emerge() {
         let g = coauthor_graph(CoauthorParams::dblp_like(1500), 3);
         let s = DegreeStats::of(&g);
-        assert!(s.max_in_degree >= 12, "expected a prolific author, max={}", s.max_in_degree);
+        assert!(
+            s.max_in_degree >= 12,
+            "expected a prolific author, max={}",
+            s.max_in_degree
+        );
     }
 }

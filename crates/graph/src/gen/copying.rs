@@ -78,8 +78,7 @@ pub fn copying_web_graph(params: CopyingParams, seed: u64) -> DiGraph {
             site += 1;
         }
     }
-    let domain_of =
-        |v: usize| -> u8 { u8::from((v as f64) >= params.domain_split * n as f64) };
+    let domain_of = |v: usize| -> u8 { u8::from((v as f64) >= params.domain_split * n as f64) };
 
     // In-sets retained during generation for sibling copying.
     let mut in_sets: Vec<Vec<NodeId>> = vec![Vec::new(); n];
@@ -197,7 +196,10 @@ mod tests {
         let g = copying_web_graph(CopyingParams::berkstan_like(n), 2);
         let cross = g
             .edges()
-            .filter(|&(u, v)| (u as usize) < n / 2 && (v as usize) >= n / 2 || (u as usize) >= n / 2 && (v as usize) < n / 2)
+            .filter(|&(u, v)| {
+                (u as usize) < n / 2 && (v as usize) >= n / 2
+                    || (u as usize) >= n / 2 && (v as usize) < n / 2
+            })
             .count();
         assert!(
             (cross as f64) < 0.3 * g.edge_count() as f64,

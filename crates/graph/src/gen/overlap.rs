@@ -35,7 +35,11 @@ impl OverlapParams {
     /// The SYN stand-in defaults: overlap matched so the measured Fig. 6c
     /// share ratios land in the paper's 0.68–0.83 band.
     pub fn syn(nodes: usize, in_degree: usize) -> Self {
-        OverlapParams { nodes, in_degree, overlap: 0.9 }
+        OverlapParams {
+            nodes,
+            in_degree,
+            overlap: 0.9,
+        }
     }
 }
 
@@ -110,7 +114,14 @@ mod tests {
         // The average best-parent symmetric difference should be far below
         // the from-scratch cost d−1.
         let d = 20usize;
-        let g = overlap_graph(OverlapParams { nodes: 400, in_degree: d, overlap: 0.9 }, 5);
+        let g = overlap_graph(
+            OverlapParams {
+                nodes: 400,
+                in_degree: d,
+                overlap: 0.9,
+            },
+            5,
+        );
         // Cheapest sym-diff to any *earlier* vertex, averaged.
         let mut total = 0usize;
         let mut count = 0usize;
@@ -118,8 +129,7 @@ mod tests {
             let best = (0..v)
                 .map(|u| {
                     let (a, b) = (g.in_neighbors(u), g.in_neighbors(v));
-                    a.len() + b.len()
-                        - 2 * a.iter().filter(|x| b.binary_search(x).is_ok()).count()
+                    a.len() + b.len() - 2 * a.iter().filter(|x| b.binary_search(x).is_ok()).count()
                 })
                 .min()
                 .unwrap();
@@ -136,7 +146,14 @@ mod tests {
 
     #[test]
     fn zero_overlap_behaves_like_random() {
-        let g = overlap_graph(OverlapParams { nodes: 200, in_degree: 8, overlap: 0.0 }, 2);
+        let g = overlap_graph(
+            OverlapParams {
+                nodes: 200,
+                in_degree: 8,
+                overlap: 0.0,
+            },
+            2,
+        );
         let s = DegreeStats::of(&g);
         assert_eq!(s.distinct_in_sets, 200 - s.zero_in_degree_nodes);
     }

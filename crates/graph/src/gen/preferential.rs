@@ -13,7 +13,10 @@ use rand::{Rng, SeedableRng};
 /// Produces heavy-tailed in-degrees and, importantly for SimRank sharing,
 /// many vertices whose in-neighbor sets share the early hubs.
 pub fn preferential_attachment(n: usize, out_per_node: usize, seed: u64) -> DiGraph {
-    assert!(n >= 2, "preferential attachment needs at least two vertices");
+    assert!(
+        n >= 2,
+        "preferential attachment needs at least two vertices"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::with_edge_capacity(n, n * out_per_node);
     // `targets` holds one entry per (in-degree + 1) unit: sampling uniformly
@@ -47,7 +50,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(preferential_attachment(64, 3, 5), preferential_attachment(64, 3, 5));
+        assert_eq!(
+            preferential_attachment(64, 3, 5),
+            preferential_attachment(64, 3, 5)
+        );
     }
 
     #[test]
@@ -62,7 +68,11 @@ mod tests {
     fn hubs_emerge() {
         let g = preferential_attachment(300, 3, 9);
         let s = DegreeStats::of(&g);
-        assert!(s.max_in_degree >= 15, "expected a hub, max={}", s.max_in_degree);
+        assert!(
+            s.max_in_degree >= 15,
+            "expected a hub, max={}",
+            s.max_in_degree
+        );
     }
 
     #[test]

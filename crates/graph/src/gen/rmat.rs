@@ -34,7 +34,15 @@ pub struct RmatParams {
 impl RmatParams {
     /// GTGraph default parameters for `n` vertices and `m` edges.
     pub fn gtgraph_default(nodes: usize, edges: usize) -> Self {
-        RmatParams { nodes, edges, a: 0.45, b: 0.15, c: 0.15, d: 0.25, noise: 0.05 }
+        RmatParams {
+            nodes,
+            edges,
+            a: 0.45,
+            b: 0.15,
+            c: 0.15,
+            d: 0.25,
+            noise: 0.05,
+        }
     }
 }
 
@@ -46,7 +54,10 @@ pub fn rmat(params: RmatParams, seed: u64) -> DiGraph {
     let max_edges = params.nodes * (params.nodes - 1);
     let target = params.edges.min(max_edges);
     let sum = params.a + params.b + params.c + params.d;
-    assert!((sum - 1.0).abs() < 1e-9, "R-MAT probabilities must sum to 1, got {sum}");
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "R-MAT probabilities must sum to 1, got {sum}"
+    );
 
     let levels = (params.nodes.max(2) as f64).log2().ceil() as u32;
     let side = 1usize << levels;
@@ -156,7 +167,11 @@ mod tests {
     #[test]
     fn infeasible_edge_count_clamped() {
         // 4 vertices admit at most 12 distinct directed non-loop edges.
-        let p = RmatParams { nodes: 4, edges: 500, ..RmatParams::gtgraph_default(4, 500) };
+        let p = RmatParams {
+            nodes: 4,
+            edges: 500,
+            ..RmatParams::gtgraph_default(4, 500)
+        };
         let g = rmat(p, 5);
         assert!(g.edge_count() <= 12);
     }

@@ -42,10 +42,14 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<DiGraph, GraphError> {
         if let Some(comment) = trimmed.strip_prefix('#') {
             if let Some(rest) = comment.trim().strip_prefix("nodes:") {
                 declared_nodes =
-                    Some(rest.trim().parse::<usize>().map_err(|e| GraphError::Parse {
-                        line: line_no,
-                        message: format!("bad node count: {e}"),
-                    })?);
+                    Some(
+                        rest.trim()
+                            .parse::<usize>()
+                            .map_err(|e| GraphError::Parse {
+                                line: line_no,
+                                message: format!("bad node count: {e}"),
+                            })?,
+                    );
             }
             continue;
         }
@@ -56,7 +60,10 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<DiGraph, GraphError> {
                 message: "expected two vertex ids".into(),
             })?
             .parse::<NodeId>()
-            .map_err(|e| GraphError::Parse { line, message: format!("bad vertex id: {e}") })
+            .map_err(|e| GraphError::Parse {
+                line,
+                message: format!("bad vertex id: {e}"),
+            })
         };
         let u = parse(it.next(), line_no)?;
         let v = parse(it.next(), line_no)?;
@@ -69,7 +76,11 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<DiGraph, GraphError> {
         max_id = max_id.max(u as u64).max(v as u64);
         edges.push((u, v));
     }
-    let inferred = if edges.is_empty() { 0 } else { (max_id + 1) as usize };
+    let inferred = if edges.is_empty() {
+        0
+    } else {
+        (max_id + 1) as usize
+    };
     let n = declared_nodes.unwrap_or(inferred).max(inferred);
     DiGraph::from_edges(n, edges)
 }

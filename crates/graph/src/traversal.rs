@@ -51,8 +51,9 @@ pub fn dfs_preorder(g: &DiGraph, start: NodeId) -> Vec<NodeId> {
 pub fn topological_sort(g: &DiGraph) -> Option<Vec<NodeId>> {
     let n = g.node_count();
     let mut in_deg: Vec<usize> = (0..n as NodeId).map(|v| g.in_degree(v)).collect();
-    let mut queue: VecDeque<NodeId> =
-        (0..n as NodeId).filter(|&v| in_deg[v as usize] == 0).collect();
+    let mut queue: VecDeque<NodeId> = (0..n as NodeId)
+        .filter(|&v| in_deg[v as usize] == 0)
+        .collect();
     let mut order = Vec::with_capacity(n);
     while let Some(u) = queue.pop_front() {
         order.push(u);
@@ -118,8 +119,9 @@ mod tests {
     fn topo_sort_on_dag() {
         let g = DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
         let order = topological_sort(&g).unwrap();
-        let pos: Vec<usize> =
-            (0..4).map(|v| order.iter().position(|&x| x == v).unwrap()).collect();
+        let pos: Vec<usize> = (0..4)
+            .map(|v| order.iter().position(|&x| x == v).unwrap())
+            .collect();
         for (u, v) in g.edges() {
             assert!(pos[u as usize] < pos[v as usize]);
         }

@@ -39,7 +39,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "vertex {node} out of range for graph with {node_count} vertices")
+                write!(
+                    f,
+                    "vertex {node} out of range for graph with {node_count} vertices"
+                )
             }
             GraphError::TooManyNodes(n) => {
                 write!(f, "{n} vertices exceed the NodeId (u32) index space")
@@ -67,11 +70,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::NodeOutOfRange { node: 7, node_count: 3 };
+        let e = GraphError::NodeOutOfRange {
+            node: 7,
+            node_count: 3,
+        };
         assert!(e.to_string().contains("vertex 7"));
         assert!(e.to_string().contains("3 vertices"));
 
-        let e = GraphError::Parse { line: 12, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 12"));
 
         let e = GraphError::TooManyNodes(1 << 40);

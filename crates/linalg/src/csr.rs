@@ -43,7 +43,13 @@ impl CsrMatrix {
         }
         let col_indices = merged.iter().map(|&(_, c, _)| c as u32).collect();
         let values = merged.iter().map(|&(_, _, v)| v).collect();
-        CsrMatrix { rows, cols, row_offsets, col_indices, values }
+        CsrMatrix {
+            rows,
+            cols,
+            row_offsets,
+            col_indices,
+            values,
+        }
     }
 
     /// The paper's *backward transition matrix* `Q` (Eq. 3):

@@ -17,7 +17,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -43,7 +47,11 @@ impl DenseMatrix {
     /// Builds from a row-major slice.
     pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
         assert_eq!(data.len(), rows * cols, "shape/data mismatch");
-        DenseMatrix { rows, cols, data: data.to_vec() }
+        DenseMatrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
     }
 
     /// Number of rows.

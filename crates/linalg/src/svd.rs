@@ -34,7 +34,9 @@ impl Svd {
         let m = a.rows();
         let n = a.cols();
         // Column-major working copy of A (columns rotate in place).
-        let mut b: Vec<Vec<f64>> = (0..n).map(|j| (0..m).map(|i| a.get(i, j)).collect()).collect();
+        let mut b: Vec<Vec<f64>> = (0..n)
+            .map(|j| (0..m).map(|i| a.get(i, j)).collect())
+            .collect();
         let mut v: Vec<Vec<f64>> = (0..n)
             .map(|j| (0..n).map(|i| if i == j { 1.0 } else { 0.0 }).collect())
             .collect();
@@ -79,8 +81,10 @@ impl Svd {
         }
         // Extract singular values and sort descending.
         let mut order: Vec<usize> = (0..n).collect();
-        let norms: Vec<f64> =
-            b.iter().map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+        let norms: Vec<f64> = b
+            .iter()
+            .map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt())
+            .collect();
         order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("finite norms"));
         let mut u = DenseMatrix::zeros(m, n);
         let mut vv = DenseMatrix::zeros(n, n);
@@ -113,7 +117,11 @@ impl Svd {
         let n = self.v.rows();
         let u = DenseMatrix::from_fn(m, r, |i, j| self.u.get(i, j));
         let v = DenseMatrix::from_fn(n, r, |i, j| self.v.get(i, j));
-        Svd { u, sigma: self.sigma[..r].to_vec(), v }
+        Svd {
+            u,
+            sigma: self.sigma[..r].to_vec(),
+            v,
+        }
     }
 
     /// Reconstructs `U · diag(σ) · Vᵀ`.
@@ -172,7 +180,10 @@ mod tests {
             (x as f64) / 23.0 - 0.5
         });
         let svd = Svd::compute(&a);
-        assert!(svd.reconstruct().max_abs_diff(&a) < 1e-10, "reconstruction failed");
+        assert!(
+            svd.reconstruct().max_abs_diff(&a) < 1e-10,
+            "reconstruction failed"
+        );
         assert!(ortho_error(&svd.u) < 1e-10, "U not orthonormal");
         assert!(ortho_error(&svd.v) < 1e-10, "V not orthonormal");
         // Descending singular values.

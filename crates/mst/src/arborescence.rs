@@ -33,7 +33,12 @@ impl Arborescence {
             parent_weight[e.to] = e.weight;
             total += e.weight;
         }
-        Arborescence { root, parent, parent_weight, total_weight: total }
+        Arborescence {
+            root,
+            parent,
+            parent_weight,
+            total_weight: total,
+        }
     }
 
     /// Builds an arborescence directly from parent pointers and per-vertex
@@ -45,14 +50,23 @@ impl Arborescence {
     /// Panics if the root has a parent, a parent index is out of range, or
     /// the parent pointers contain a cycle.
     pub fn from_parents(root: usize, parents: Vec<Option<usize>>, weights: Vec<u64>) -> Self {
-        assert_eq!(parents.len(), weights.len(), "parents/weights length mismatch");
+        assert_eq!(
+            parents.len(),
+            weights.len(),
+            "parents/weights length mismatch"
+        );
         assert!(root < parents.len(), "root out of range");
         assert!(parents[root].is_none(), "root must not have a parent");
         for &p in parents.iter().flatten() {
             assert!(p < parents.len(), "parent index out of range");
         }
         let total_weight = weights.iter().sum();
-        let arb = Arborescence { root, parent: parents, parent_weight: weights, total_weight };
+        let arb = Arborescence {
+            root,
+            parent: parents,
+            parent_weight: weights,
+            total_weight,
+        };
         assert!(arb.is_acyclic(), "parent pointers contain a cycle");
         arb
     }

@@ -48,7 +48,12 @@ pub fn edmonds(n: usize, edges: &[Edge], root: usize) -> Option<Arborescence> {
         .iter()
         .enumerate()
         .filter(|(_, e)| e.from != e.to && e.to != root)
-        .map(|(i, e)| WorkEdge { from: e.from, to: e.to, weight: e.weight as i64, orig: i })
+        .map(|(i, e)| WorkEdge {
+            from: e.from,
+            to: e.to,
+            weight: e.weight as i64,
+            orig: i,
+        })
         .collect();
     let chosen = solve(n, root, work)?;
     Some(Arborescence::from_chosen_edges(n, root, edges, &chosen))
@@ -99,7 +104,10 @@ fn solve(n: usize, root: usize, edges: Vec<WorkEdge>) -> Option<Vec<usize>> {
         }
         if v != root && color[v] == start && comp[v] == UNSEEN {
             // Found a new cycle; extract it from `path`.
-            let pos = path.iter().position(|&x| x == v).expect("cycle member on path");
+            let pos = path
+                .iter()
+                .position(|&x| x == v)
+                .expect("cycle member on path");
             let cycle: Vec<usize> = path[pos..].to_vec();
             let id = comp_count;
             comp_count += 1;
@@ -136,7 +144,11 @@ fn solve(n: usize, root: usize, edges: Vec<WorkEdge>) -> Option<Vec<usize>> {
         if cf == ct {
             continue;
         }
-        let adjust = if in_cycle(e.to) { edges[best[e.to].unwrap()].weight } else { 0 };
+        let adjust = if in_cycle(e.to) {
+            edges[best[e.to].unwrap()].weight
+        } else {
+            0
+        };
         contracted.push(WorkEdge {
             from: cf,
             to: ct,

@@ -16,10 +16,15 @@ fn main() {
     println!("dataset {}: {}\n", data.name, data.stats);
 
     // Query: a heavily cited "classic" patent.
-    let query = g.nodes().max_by_key(|&v| g.in_degree(v)).expect("non-empty");
+    let query = g
+        .nodes()
+        .max_by_key(|&v| g.in_degree(v))
+        .expect("non-empty");
     println!("query patent #{query} has {} citations", g.in_degree(query));
 
-    let opts = SimRankOptions::default().with_damping(0.8).with_epsilon(1e-3);
+    let opts = SimRankOptions::default()
+        .with_damping(0.8)
+        .with_epsilon(1e-3);
     let scores = oip::oip_simrank(g, &opts);
 
     println!("\nmost similar patents (candidates for overlapping prior art):");

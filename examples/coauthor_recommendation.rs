@@ -17,18 +17,30 @@ fn main() {
     println!("dataset {}: {}\n", data.name, data.stats);
 
     // Query: the most prolific author.
-    let query = g.nodes().max_by_key(|&v| g.in_degree(v)).expect("non-empty");
+    let query = g
+        .nodes()
+        .max_by_key(|&v| g.in_degree(v))
+        .expect("non-empty");
     println!(
         "query author_{query:05} has {} direct collaborators",
         g.in_degree(query)
     );
 
-    let opts = SimRankOptions::default().with_damping(0.6).with_epsilon(1e-3);
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_epsilon(1e-3);
     let scores = oip::oip_simrank(g, &opts);
     println!("\ntop-10 recommended collaborators (conventional SimRank):");
     for (rank, (author, score)) in topk::top_k(&scores, query, 10).into_iter().enumerate() {
-        let direct = if g.has_edge(author, query) { "existing co-author" } else { "NEW contact" };
-        println!("  #{:<2} author_{author:05}  s = {score:.4}  ({direct})", rank + 1);
+        let direct = if g.has_edge(author, query) {
+            "existing co-author"
+        } else {
+            "NEW contact"
+        };
+        println!(
+            "  #{:<2} author_{author:05}  s = {score:.4}  ({direct})",
+            rank + 1
+        );
     }
 
     // The differential model gives the same answer 5x+ faster — verify the

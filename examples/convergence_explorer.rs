@@ -18,7 +18,11 @@ fn main() {
     let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(400);
 
     let g = gen::coauthor_graph(gen::CoauthorParams::dblp_like(n), 20130408);
-    println!("co-authorship graph: n = {}, m = {}, C = {c}\n", g.node_count(), g.edge_count());
+    println!(
+        "co-authorship graph: n = {}, m = {}, C = {c}\n",
+        g.node_count(),
+        g.edge_count()
+    );
 
     let opts = SimRankOptions::default().with_damping(c);
     // Converged references.

@@ -19,11 +19,17 @@ fn main() {
     );
 
     // Conventional SimRank via OIP-SR (Algorithm 1): C = 0.6, ε = 1e-3.
-    let opts = SimRankOptions::default().with_damping(0.6).with_epsilon(1e-3);
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_epsilon(1e-3);
     let (scores, report) = oip::oip_simrank_with_report(&g, &opts);
 
     println!("similarity of selected pairs (conventional SimRank):");
-    for (x, y) in [(fig1a::A, fig1a::B), (fig1a::B, fig1a::D), (fig1a::A, fig1a::C)] {
+    for (x, y) in [
+        (fig1a::A, fig1a::B),
+        (fig1a::B, fig1a::D),
+        (fig1a::A, fig1a::C),
+    ] {
         println!(
             "  s({}, {}) = {:.4}",
             fig1a::LABELS[x as usize],
@@ -33,8 +39,7 @@ fn main() {
     }
     println!(
         "\nOIP machinery: tree weight {} (d' = {:.2}), {} additions, {} buffer(s), {} iterations",
-        report.tree_weight, report.d_eff, report.adds, report.peak_live_buffers,
-        report.iterations
+        report.tree_weight, report.d_eff, report.adds, report.peak_live_buffers, report.iterations
     );
 
     // Differential SimRank reaches the same accuracy in far fewer rounds.

@@ -33,11 +33,18 @@ pub use simrank_linalg as linalg;
 pub use simrank_mst as mst;
 
 /// Convenient glob-import surface: the types and entry points most programs
-/// need.
+/// need — one name per row of the algorithm table in [`simrank_core`].
 pub mod prelude {
     pub use simrank_core::{
-        dsr::oip_dsr_simrank, naive::naive_simrank, oip::oip_simrank, psum::psum_simrank,
-        SimMatrix, SimRankOptions,
+        dsr::oip_dsr_simrank,
+        montecarlo::{mc_simrank_pair, Fingerprints},
+        mtx::mtx_simrank,
+        naive::naive_simrank,
+        oip::oip_simrank,
+        prank::{prank, PRankOptions},
+        psum::psum_simrank,
+        topk::{top_k, top_k_ids},
+        CostModel, SimMatrix, SimRankOptions,
     };
     pub use simrank_eval::{kendall_tau, ndcg_at, top_k_overlap};
     pub use simrank_graph::{DiGraph, GraphBuilder, NodeId};

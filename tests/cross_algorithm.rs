@@ -1,8 +1,6 @@
 //! Cross-crate integration: every algorithm variant, one pipeline.
 
-use simrank::algo::{
-    dsr, matrixform, mtx, naive, oip, psum, CostModel, SimRankOptions,
-};
+use simrank::algo::{dsr, matrixform, mtx, naive, oip, psum, CostModel, SimRankOptions};
 use simrank::datasets;
 use simrank::graph::gen;
 
@@ -16,7 +14,9 @@ fn conventional_variants_agree_on_all_dataset_families() {
         datasets::dblp_like(datasets::DblpSnapshot::D02, 60, 3).graph,
         datasets::syn(100, 8, 4).graph,
     ];
-    let opts = SimRankOptions::default().with_damping(0.6).with_iterations(6);
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_iterations(6);
     for (i, g) in graphs.iter().enumerate() {
         let reference = naive::naive_simrank(g, &opts);
         let via_psum = psum::psum_simrank(g, &opts);
@@ -39,7 +39,9 @@ fn ablations_cost_only() {
     let base = SimRankOptions::default().with_iterations(5);
     let reference = oip::oip_simrank(&g, &base);
     let (_, r_base) = oip::oip_simrank_with_report(&g, &base);
-    let scratch_only = base.with_cost_model(CostModel::ScratchOnly).with_outer_sharing(false);
+    let scratch_only = base
+        .with_cost_model(CostModel::ScratchOnly)
+        .with_outer_sharing(false);
     let (s, r_off) = oip::oip_simrank_with_report(&g, &scratch_only);
     assert!(reference.max_abs_diff(&s) < 1e-10);
     assert!(
@@ -56,7 +58,9 @@ fn ablations_cost_only() {
 fn dsr_pipeline_matches_dense_reference() {
     let g = datasets::patent_like(100, 5).graph;
     for k in [1u32, 4, 8] {
-        let opts = SimRankOptions::default().with_damping(0.7).with_iterations(k);
+        let opts = SimRankOptions::default()
+            .with_damping(0.7)
+            .with_iterations(k);
         let fast = dsr::oip_dsr_simrank(&g, &opts);
         let reference = matrixform::dsr_matrix_reference(&g, 0.7, k);
         assert!(fast.max_abs_diff(&reference) < 1e-10, "K = {k}");
@@ -67,7 +71,9 @@ fn dsr_pipeline_matches_dense_reference() {
 #[test]
 fn mtx_pipeline_matches_matrix_form() {
     let g = gen::gnm(30, 110, 11);
-    let opts = SimRankOptions::default().with_damping(0.6).with_iterations(30);
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_iterations(30);
     let via_svd = mtx::mtx_simrank(&g, &opts, None);
     let reference = matrixform::matrix_form_simrank(&g, 0.6, 30);
     for a in 0..30 {
@@ -104,7 +110,9 @@ fn formulation_relationship_pinned() {
 fn monte_carlo_tracks_exact() {
     use simrank::algo::montecarlo::Fingerprints;
     let g = simrank::graph::fixtures::paper_fig1a();
-    let opts = SimRankOptions::default().with_damping(0.6).with_iterations(15);
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_iterations(15);
     let exact = naive::naive_simrank(&g, &opts);
     let fp = Fingerprints::sample(&g, 15, 8_000, 13);
     let mut exact_v = Vec::new();

@@ -8,7 +8,12 @@ use simrank::algo::{dsr, naive, oip, psum, SimRankOptions};
 use simrank::graph::DiGraph;
 
 fn converged(g: &DiGraph, c: f64) -> simrank::algo::SimMatrix {
-    oip::oip_simrank(g, &SimRankOptions::default().with_damping(c).with_iterations(120))
+    oip::oip_simrank(
+        g,
+        &SimRankOptions::default()
+            .with_damping(c)
+            .with_iterations(120),
+    )
 }
 
 /// Star `0 → {1..k}`: every pair of leaves meets at the hub in one step,
@@ -141,7 +146,9 @@ fn duplicate_in_sets_share_for_free() {
         edges.push((1, v));
     }
     let g = DiGraph::from_edges(k as usize, edges).unwrap();
-    let opts = SimRankOptions::default().with_damping(0.6).with_iterations(30);
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_iterations(30);
     let (s, report) = oip::oip_simrank_with_report(&g, &opts);
     // All duplicate-set vertices are equally similar to each other.
     let first = s.get(2, 3);

@@ -12,7 +12,10 @@ fn claim_partial_sums_sharing_saves_work() {
     let opts = SimRankOptions::default().with_iterations(5);
     let (s_oip, r_oip) = oip::oip_simrank_with_report(&g, &opts);
     let (s_psum, r_psum) = psum::psum_simrank_with_report(&g, &opts);
-    assert!(s_oip.max_abs_diff(&s_psum) < 1e-10, "same model, same scores");
+    assert!(
+        s_oip.max_abs_diff(&s_psum) < 1e-10,
+        "same model, same scores"
+    );
     let ratio = r_oip.share_ratio_vs(&r_psum);
     assert!(ratio > 0.4, "web-graph share ratio too low: {ratio}");
     // Proposition 5: d' ≤ d.
@@ -38,12 +41,24 @@ fn claim_exponential_convergence() {
 #[test]
 fn claim_work_ordering_at_fixed_accuracy() {
     let g = datasets::dblp_like(datasets::DblpSnapshot::D02, 48, 5).graph;
-    let opts = SimRankOptions::default().with_damping(0.6).with_epsilon(1e-3);
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_epsilon(1e-3);
     let (_, r_dsr) = dsr::oip_dsr_simrank_with_report(&g, &opts);
     let (_, r_oip) = oip::oip_simrank_with_report(&g, &opts);
     let (_, r_psum) = psum::psum_simrank_with_report(&g, &opts);
-    assert!(r_dsr.adds < r_oip.adds, "DSR {} vs OIP {}", r_dsr.adds, r_oip.adds);
-    assert!(r_oip.adds < r_psum.adds, "OIP {} vs psum {}", r_oip.adds, r_psum.adds);
+    assert!(
+        r_dsr.adds < r_oip.adds,
+        "DSR {} vs OIP {}",
+        r_dsr.adds,
+        r_oip.adds
+    );
+    assert!(
+        r_oip.adds < r_psum.adds,
+        "OIP {} vs psum {}",
+        r_oip.adds,
+        r_psum.adds
+    );
 }
 
 /// §V Exp-4: the differential model fairly preserves the conventional
@@ -51,10 +66,15 @@ fn claim_work_ordering_at_fixed_accuracy() {
 #[test]
 fn claim_relative_order_preserved() {
     let g = datasets::dblp_like(datasets::DblpSnapshot::D02, 48, 9).graph;
-    let opts = SimRankOptions::default().with_damping(0.6).with_epsilon(1e-3);
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_epsilon(1e-3);
     let truth = oip::oip_simrank(&g, &opts.with_iterations(60));
     let fast = dsr::oip_dsr_simrank(&g, &opts);
-    let query = g.nodes().max_by_key(|&v| g.in_degree(v)).expect("non-empty");
+    let query = g
+        .nodes()
+        .max_by_key(|&v| g.in_degree(v))
+        .expect("non-empty");
     let truth_ids = simrank::algo::topk::top_k_ids(&truth, query, 10);
     let fast_ids = simrank::algo::topk::top_k_ids(&fast, query, 10);
     let overlap = top_k_overlap(&truth_ids, &fast_ids);
@@ -65,7 +85,9 @@ fn claim_relative_order_preserved() {
 #[test]
 fn prelude_quickstart_compiles_and_runs() {
     let g = simrank::graph::fixtures::paper_fig1a();
-    let opts = SimRankOptions::default().with_damping(0.6).with_iterations(8);
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_iterations(8);
     let conventional = oip_simrank(&g, &opts);
     let differential = oip_dsr_simrank(&g, &opts);
     let naive = naive_simrank(&g, &opts);

@@ -1,0 +1,159 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the surface the graph binary codec uses: an
+//! append-only [`BytesMut`] with little-endian `u32` writes, a frozen
+//! immutable [`Bytes`] view, and the [`Buf`]/[`BufMut`] traits with
+//! cursor-advancing reads over `&[u8]`.
+
+use std::ops::Deref;
+
+/// Immutable byte buffer. Dereferences to `&[u8]`, so slicing, length,
+/// and `to_vec` all come for free.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(v)
+    }
+}
+
+/// Growable byte buffer for encoding.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer with at least `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Sequential little-endian writes.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends one `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Sequential little-endian reads over a shrinking cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads one little-endian `u32` and advances the cursor.
+    ///
+    /// # Panics
+    /// Panics if fewer than four bytes remain.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads one little-endian `u64` and advances the cursor.
+    ///
+    /// # Panics
+    /// Panics if fewer than eight bytes remain.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("split_at(4) yields 4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("split_at(8) yields 8 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_u32_stream() {
+        let mut buf = BytesMut::with_capacity(12);
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u32_le(1);
+        buf.put_u32_le(u32::MAX);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 12);
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_u32_le(), 0xdead_beef);
+        assert_eq!(cursor.get_u32_le(), 1);
+        assert_eq!(cursor.remaining(), 4);
+        assert_eq!(cursor.get_u32_le(), u32::MAX);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_supports_slice_ops() {
+        let b: Bytes = vec![1u8, 2, 3, 4].into();
+        assert_eq!(&b[..2], &[1, 2]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4]);
+    }
+}

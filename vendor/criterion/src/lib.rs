@@ -1,0 +1,156 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The registry is unreachable from the build environment, so this
+//! vendored crate provides the API subset the bench harnesses use —
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], `iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a deliberately
+//! tiny measurement loop: each benchmark body runs a handful of times
+//! and the best observed wall time is printed as `ns/iter`. There is no
+//! statistical analysis, warm-up, or HTML report; the point is that
+//! `cargo bench` compiles, runs, and produces comparable-enough numbers
+//! until a real statistics engine lands.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`], criterion's optimizer barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How many times each benchmark body is invoked per measurement.
+const RUNS: u32 = 3;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing display context.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; this harness always runs a
+    /// fixed small number of iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No summary statistics in this stand-in.)
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark: `name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds the `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Handle passed to benchmark bodies.
+pub struct Bencher {
+    best_ns: Option<u128>,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the best of a few runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            black_box(f());
+            let ns = start.elapsed().as_nanos();
+            if self.best_ns.map(|b| ns < b).unwrap_or(true) {
+                self.best_ns = Some(ns);
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher { best_ns: None };
+    f(&mut b);
+    match b.best_ns {
+        Some(ns) => println!("bench {label:<50} {ns:>14} ns/iter"),
+        None => println!("bench {label:<50} (no measurement)"),
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Runs the `", stringify!($name), "` benchmark group.")]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; in that
+            // mode just prove the harness links and exit quickly.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,111 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Inclusive-exclusive size bounds accepted by the collection builders.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s whose length lies in `size` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Strategy producing `BTreeSet`s whose size lies in `size` where the
+/// element domain allows it.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+        let target = rng.gen_range(self.size.min..self.size.max_exclusive);
+        let mut set = BTreeSet::new();
+        // Duplicates don't grow the set, so give the draw loop slack to
+        // reach the target before giving up (small element domains may
+        // not contain `target` distinct values at all).
+        for _ in 0..(8 * target + 32) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.new_value(rng));
+        }
+        set
+    }
+}

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The registry is unreachable from the build environment, so this
+//! vendored crate implements the subset of proptest the workspace's
+//! property tests use: the [`strategy::Strategy`] trait with `prop_map`
+//! and `prop_flat_map`, range and tuple strategies, the
+//! [`collection`] builders (`vec`, `btree_set`), the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros, and [`ProptestConfig`].
+//!
+//! Semantics differ from real proptest in two deliberate ways: values
+//! are drawn from a per-test deterministic RNG (seeded from the test's
+//! module path, overridable via `PROPTEST_RNG_SEED`), and failing cases
+//! panic immediately without shrinking — generation is deterministic,
+//! so re-running the test replays the identical failing input.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub mod collection;
+
+/// Per-run configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Builds the deterministic RNG for one property test. The seed mixes a
+/// hash of `test_path` so distinct tests explore distinct streams; set
+/// `PROPTEST_RNG_SEED` to rotate every stream at once.
+pub fn test_rng(test_path: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    if let Ok(extra) = std::env::var("PROPTEST_RNG_SEED") {
+        if let Ok(n) = extra.trim().parse::<u64>() {
+            h = h.wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// The glob-import surface mirrored from real proptest.
+pub mod prelude {
+    /// `prop::collection::vec(..)`-style paths, as real proptest's
+    /// prelude provides.
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property, reporting the condition text.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// item becomes a `#[test]` that draws fresh inputs `cases` times and
+/// runs the body on each draw.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            (<$crate::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_cfg: $crate::ProptestConfig = $cfg;
+                let mut __pt_rng =
+                    $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __pt_case in 0..__pt_cfg.cases {
+                    let _ = __pt_case;
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::new_value(&($strat), &mut __pt_rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use std::cell::Cell;
+
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    thread_local! {
+        static CASES_SEEN: Cell<u32> = const { Cell::new(0) };
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(37))]
+
+        #[test]
+        fn macro_runs_configured_case_count(x in 0u32..100, (lo, hi) in (0usize..5, 10usize..15)) {
+            prop_assert!(x < 100);
+            prop_assert!(lo < hi);
+            CASES_SEEN.with(|c| c.set(c.get() + 1));
+        }
+    }
+
+    #[test]
+    fn configured_case_count_was_honored() {
+        // Test ordering is unspecified, so drive the property directly.
+        CASES_SEEN.with(|c| c.set(0));
+        macro_runs_configured_case_count();
+        assert_eq!(CASES_SEEN.with(|c| c.get()), 37);
+    }
+
+    #[test]
+    fn ranges_tuples_maps_compose() {
+        let mut rng = crate::test_rng("ranges_tuples_maps_compose");
+        let strat = (2usize..6).prop_flat_map(|n| {
+            crate::collection::vec((0u32..n as u32, 0.0f64..1.0), 1..=n)
+                .prop_map(move |pairs| (n, pairs))
+        });
+        for _ in 0..200 {
+            let (n, pairs) = strat.new_value(&mut rng);
+            assert!((2..6).contains(&n));
+            assert!((1..=n).contains(&pairs.len()));
+            for (id, w) in pairs {
+                assert!((id as usize) < n);
+                assert!((0.0..1.0).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_bounds_when_domain_allows() {
+        let mut rng = crate::test_rng("btree_set_respects_bounds");
+        let strat = crate::collection::btree_set(0u32..1000, 3..8);
+        for _ in 0..100 {
+            let s = strat.new_value(&mut rng);
+            assert!((3..8).contains(&s.len()), "len {}", s.len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_path() {
+        let strat = crate::collection::vec(0u64..u64::MAX, 5..10);
+        let a = strat.new_value(&mut crate::test_rng("same"));
+        let b = strat.new_value(&mut crate::test_rng("same"));
+        let c = strat.new_value(&mut crate::test_rng("different"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}
