@@ -1,0 +1,62 @@
+//! Speedup curve of the block-sharded parallel executor.
+//!
+//! Sweeps the `threads` knob over the three sharded sweeps on the largest
+//! bench fixture (the BERKSTAN-like copying graph — the densest in-set
+//! overlap, hence the heaviest per-iteration work). Scores are bit-for-bit
+//! identical across the sweep by the executor's determinism contract, so
+//! any timing difference is pure scheduling: on a multi-core host the
+//! `threads = N` rows should undercut `threads = 1`, and on a single-core
+//! host they should tie (the executor never spawns more workers than can
+//! help).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simrank_core::{oip, psum, SharingPlan, SimRankOptions};
+use simrank_datasets as datasets;
+
+const SEED: u64 = datasets::DEFAULT_SEED;
+
+/// Thread counts to sweep: 1 (the baseline), the machine, and 2×/4× points
+/// to expose the curve shape.
+fn thread_sweep() -> Vec<usize> {
+    let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut ts = vec![1, 2, 4, avail];
+    ts.sort_unstable();
+    ts.dedup();
+    ts
+}
+
+/// OIP-SR iteration sweep (plan prebuilt: measures the sharded replay).
+fn parallel_oip(c: &mut Criterion) {
+    let d = datasets::berkstan_like(800, SEED);
+    let g = &d.graph;
+    let base = SimRankOptions::default().with_iterations(5);
+    let plan = SharingPlan::build(g, &base);
+    let mut group = c.benchmark_group("parallel_oip");
+    group.sample_size(10);
+    for t in thread_sweep() {
+        let opts = base.with_threads(t);
+        group.bench_with_input(BenchmarkId::new("threads", t), &opts, |b, opts| {
+            b.iter(|| oip::oip_simrank_with_plan(g, &plan, opts))
+        });
+    }
+    group.finish();
+}
+
+/// psum-SR sweep (row-band sharding of the memoized partial sums).
+fn parallel_psum(c: &mut Criterion) {
+    let d = datasets::berkstan_like(800, SEED);
+    let g = &d.graph;
+    let base = SimRankOptions::default().with_iterations(5);
+    let mut group = c.benchmark_group("parallel_psum");
+    group.sample_size(10);
+    for t in thread_sweep() {
+        let opts = base.with_threads(t);
+        group.bench_with_input(BenchmarkId::new("threads", t), &opts, |b, opts| {
+            b.iter(|| psum::psum_simrank(g, opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(parallel, parallel_oip, parallel_psum);
+criterion_main!(parallel);

@@ -47,9 +47,13 @@ pub struct Fig6d {
 
 /// Runs the memory experiment.
 pub fn run(scale: Scale, seed: u64) -> Fig6d {
+    // Pin one worker: peak intermediate memory scales with the worker
+    // count, and this figure reproduces the paper's single-threaded
+    // accounting — it must not vary with the host's core count.
     let opts = SimRankOptions::default()
         .with_damping(0.6)
-        .with_epsilon(1e-3);
+        .with_epsilon(1e-3)
+        .with_threads(1);
     let mut dblp = Vec::new();
     for snap in datasets::DblpSnapshot::ALL {
         let d = datasets::dblp_like(snap, scale.dblp_scale_div(), seed);
@@ -146,7 +150,7 @@ mod tests {
 
     #[test]
     fn mtx_dwarfs_iterative_algorithms() {
-        let opts = SimRankOptions::default().with_iterations(3);
+        let opts = SimRankOptions::default().with_iterations(3).with_threads(1);
         let d = datasets::dblp_like(datasets::DblpSnapshot::D02, 48, 1);
         let (_, r_mtx) = mtx::mtx_simrank_with_report(&d.graph, &opts, None);
         let (_, r_oip) = oip::oip_simrank_with_report(&d.graph, &opts);
@@ -161,7 +165,7 @@ mod tests {
     #[test]
     fn oip_memory_is_flat_in_k_and_near_psum() {
         let d = datasets::patent_like(600, 2);
-        let base = SimRankOptions::default();
+        let base = SimRankOptions::default().with_threads(1);
         let plan = SharingPlan::build(&d.graph, &base);
         let mut prev = None;
         for k in [2u32, 6, 12] {

@@ -15,9 +15,20 @@
 //!   `OuterPartial^{I(u)}_{I(w)}` values via Proposition 4 updates, emitting
 //!   `s_{k+1}(u, w)`.
 
+//! # Parallel replay
+//!
+//! The schedule decomposes into [`SharingPlan::segments`] — one contiguous
+//! range per root subtree, each starting from scratch and touching only its
+//! own buffers. The engine shards those segments across workers (balanced
+//! by step count), gives every worker a private buffer pool and outer
+//! array, and lets each worker emit its own sources' rows of `S_{k+1}`
+//! through a disjoint-row writer. Per-row arithmetic is untouched, so
+//! results are bit-for-bit identical for every thread count.
+
 use crate::grid::ScoreGrid;
 use crate::instrument::{MemoryModel, OpCounter, PhaseTimer, Report};
 use crate::options::SimRankOptions;
+use crate::par;
 use crate::plan::{EdgeOp, SharingPlan, Step};
 use simrank_graph::DiGraph;
 
@@ -68,12 +79,26 @@ pub fn run(
     };
     let mut coef_term = 1.0f64; // C^k / k! running product
 
-    // Buffer pool for inner partial sums.
-    let mut pool: Vec<Vec<f64>> = (0..plan.slots).map(|_| vec![0.0f64; n]).collect();
-    mem.alloc(plan.slots * n * 8);
-    // Outer scalar per tree node (index 0 = root, unused).
-    let mut outer = vec![0.0f64; plan.targets.len() + 1];
-    mem.alloc(outer.len() * 8);
+    // Shard the independent schedule segments across workers, balancing by
+    // step count (root subtrees can be wildly uneven).
+    let workers = par::effective_workers(opts.threads, plan.segments.len());
+    let seg_weights: Vec<usize> = plan.segments.iter().map(|s| s.len()).collect();
+    let shares: Vec<Vec<usize>> = par::balance(&seg_weights, workers);
+    let workers = shares.len().max(1);
+
+    // Per-worker replay state: a private buffer pool for inner partial sums
+    // plus the outer scalar per tree node (index 0 = root, unused).
+    struct WorkerState {
+        pool: Vec<Vec<f64>>,
+        outer: Vec<f64>,
+    }
+    let mut states: Vec<WorkerState> = (0..workers)
+        .map(|_| WorkerState {
+            pool: (0..plan.slots).map(|_| vec![0.0f64; n]).collect(),
+            outer: vec![0.0f64; plan.targets.len() + 1],
+        })
+        .collect();
+    mem.alloc(workers * (plan.slots * n + plan.targets.len() + 1) * 8);
     if mode == Mode::Differential {
         // Beyond the ping-pong score state every algorithm carries, the
         // differential model memoizes the auxiliary `T_k` (Eq. 15). The
@@ -96,52 +121,30 @@ pub fn run(
 
     for k in 0..iterations {
         next.clear();
-        for step in &plan.schedule {
-            match *step {
-                Step::Scratch { t, slot } => {
-                    let buf = &mut pool[slot as usize];
-                    buf.fill(0.0);
-                    let ins = g.in_neighbors(plan.targets[t as usize]);
-                    for &x in ins {
-                        cur.add_row_into(x as usize, buf);
-                    }
-                    counter.add(((ins.len() as u64).saturating_sub(1)) * n as u64);
-                }
-                Step::CopyUpdate {
-                    t,
-                    parent_slot,
-                    slot,
-                } => {
-                    // Split-borrow the two distinct slots.
-                    let (src, dst) = borrow_two(&mut pool, parent_slot as usize, slot as usize);
-                    dst.copy_from_slice(src);
-                    apply_update(&cur, &plan.ops[t as usize], dst, &mut counter, n);
-                }
-                Step::InPlace { t, slot } => {
-                    apply_update(
-                        &cur,
-                        &plan.ops[t as usize],
-                        &mut pool[slot as usize],
-                        &mut counter,
-                        n,
-                    );
-                }
-                Step::Emit { t, slot } => {
-                    emit_source(
+        {
+            // SAFETY (RowWriter): every target is emitted exactly once per
+            // iteration and workers own disjoint segment sets, so each row
+            // of `next` is written by exactly one worker.
+            let writer = par::RowWriter::new(&mut next);
+            let items: Vec<_> = shares.iter().zip(states.iter_mut()).collect();
+            counter.add(par::run_sharded(items, |(share, state), counter| {
+                for &seg in share.iter() {
+                    replay_segment(
                         g,
                         plan,
                         opts,
                         mode,
                         damping,
-                        t as usize,
-                        &pool[slot as usize],
+                        &cur,
+                        &writer,
+                        &plan.segments[seg],
+                        state.pool.as_mut_slice(),
+                        &mut state.outer,
                         &in_deg,
-                        &mut outer,
-                        &mut next,
-                        &mut counter,
+                        counter,
                     );
                 }
-            }
+            }));
         }
         if mode == Mode::Conventional {
             next.set_diagonal(1.0);
@@ -170,13 +173,87 @@ pub fn run(
         tree_weight: plan.tree_weight,
         d_eff: plan.d_eff(),
         peak_intermediate_bytes: mem.peak(),
-        peak_live_buffers: plan.slots,
+        peak_live_buffers: workers * plan.slots,
+        workers,
     };
     let result = match mode {
         Mode::Conventional => cur,
         Mode::Differential => s_hat.expect("differential accumulator exists"),
     };
     (result, report)
+}
+
+/// Replays one self-contained schedule segment (a root subtree) against a
+/// private buffer pool, emitting finished sources through the shared
+/// disjoint-row writer.
+#[allow(clippy::too_many_arguments)]
+fn replay_segment(
+    g: &DiGraph,
+    plan: &SharingPlan,
+    opts: &SimRankOptions,
+    mode: Mode,
+    damping: f64,
+    cur: &ScoreGrid,
+    writer: &par::RowWriter<'_>,
+    segment: &std::ops::Range<usize>,
+    pool: &mut [Vec<f64>],
+    outer: &mut [f64],
+    in_deg: &[f64],
+    counter: &mut OpCounter,
+) {
+    let n = cur.order();
+    for step in &plan.schedule[segment.clone()] {
+        match *step {
+            Step::Scratch { t, slot } => {
+                let buf = &mut pool[slot as usize];
+                buf.fill(0.0);
+                let ins = g.in_neighbors(plan.targets[t as usize]);
+                for &x in ins {
+                    cur.add_row_into(x as usize, buf);
+                }
+                counter.add(((ins.len() as u64).saturating_sub(1)) * n as u64);
+            }
+            Step::CopyUpdate {
+                t,
+                parent_slot,
+                slot,
+            } => {
+                // Split-borrow the two distinct slots.
+                let (src, dst) = borrow_two(pool, parent_slot as usize, slot as usize);
+                dst.copy_from_slice(src);
+                apply_update(cur, &plan.ops[t as usize], dst, counter, n);
+            }
+            Step::InPlace { t, slot } => {
+                apply_update(
+                    cur,
+                    &plan.ops[t as usize],
+                    &mut pool[slot as usize],
+                    counter,
+                    n,
+                );
+            }
+            Step::Emit { t, slot } => {
+                let u = plan.targets[t as usize] as usize;
+                // SAFETY: each target is emitted exactly once per iteration
+                // and this worker owns the segment, so row `u` is this
+                // thread's alone.
+                let row = unsafe { writer.row_mut(u) };
+                emit_source(
+                    g,
+                    plan,
+                    opts,
+                    mode,
+                    damping,
+                    t as usize,
+                    &pool[slot as usize],
+                    in_deg,
+                    outer,
+                    row,
+                    counter,
+                );
+            }
+        }
+    }
 }
 
 /// Applies a Proposition 3 update to a partial-sum buffer.
@@ -208,12 +285,11 @@ fn emit_source(
     partial: &[f64],
     in_deg: &[f64],
     outer: &mut [f64],
-    next: &mut ScoreGrid,
+    row: &mut [f64],
     counter: &mut OpCounter,
 ) {
     let u = plan.targets[t] as usize;
     let du = in_deg[t];
-    let row = next.row_mut(u);
     if opts.outer_sharing {
         // Preorder walk sharing OuterPartial scalars (Proposition 4).
         for &node in &plan.preorder {
@@ -453,6 +529,27 @@ mod tests {
                     v == 0.0 || v >= 0.5 || a == b,
                     "sieved value {v} at ({a},{b})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_replay_is_bit_identical() {
+        // Stronger than the 1e-12 contract: the sharded engine performs the
+        // exact same per-row arithmetic, so every thread count reproduces
+        // threads = 1 bit-for-bit, in both modes, and the merged counter
+        // shards reproduce the single-threaded operation count exactly.
+        let g = simrank_graph::gen::gnm(60, 260, 11);
+        let base = SimRankOptions::default().with_iterations(6).with_threads(1);
+        let plan = SharingPlan::build(&g, &base);
+        for mode in [Mode::Conventional, Mode::Differential] {
+            let (s1, r1) = run(&g, &plan, &base, mode, 6, None);
+            for t in [2usize, 3, 5, 8] {
+                let opts = base.with_threads(t);
+                let (st, rt) = run(&g, &plan, &opts, mode, 6, None);
+                assert_eq!(s1.max_abs_diff(&st), 0.0, "mode {mode:?} threads {t}");
+                assert_eq!(r1.adds, rt.adds, "op counts must merge exactly");
+                assert!(rt.workers >= 1 && rt.workers <= t);
             }
         }
     }

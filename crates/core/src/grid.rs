@@ -95,6 +95,38 @@ impl ScoreGrid {
         }
     }
 
+    /// Splits the grid into disjoint mutable row bands, one per range.
+    ///
+    /// `bands` must be ascending, non-overlapping row ranges within
+    /// `0..=n`. Rows between consecutive bands are skipped (left borrowed
+    /// by no one). This is the safe sharding primitive behind the parallel
+    /// `naive`/`psum` sweeps: each worker receives one band and can never
+    /// alias another worker's rows.
+    pub fn row_bands_mut(&mut self, bands: &[std::ops::Range<usize>]) -> Vec<&mut [f64]> {
+        let n = self.n;
+        let mut out = Vec::with_capacity(bands.len());
+        let mut rest: &mut [f64] = &mut self.data;
+        let mut cursor = 0usize;
+        for band in bands {
+            assert!(
+                band.start >= cursor && band.start <= band.end && band.end <= n,
+                "bands must be ascending and within 0..={n}"
+            );
+            let (_gap, tail) = rest.split_at_mut((band.start - cursor) * n);
+            let (rows, tail) = tail.split_at_mut((band.end - band.start) * n);
+            out.push(rows);
+            rest = tail;
+            cursor = band.end;
+        }
+        out
+    }
+
+    /// Raw backing storage (row-major); used by the parallel executor's
+    /// disjoint-row writer.
+    pub(crate) fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Sets all diagonal entries.
     pub fn set_diagonal(&mut self, v: f64) {
         for i in 0..self.n {
@@ -180,6 +212,28 @@ mod tests {
         let mut b = ScoreGrid::identity(2);
         b.set(0, 1, 0.3);
         assert!((a.max_abs_diff(&b) - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn row_bands_are_disjoint_views() {
+        let mut g = ScoreGrid::zeros(5);
+        let bands = g.row_bands_mut(&[0..2, 3..5]); // row 2 deliberately skipped
+        assert_eq!(bands.len(), 2);
+        assert_eq!(bands[0].len(), 10);
+        assert_eq!(bands[1].len(), 10);
+        for (i, band) in bands.into_iter().enumerate() {
+            band.fill(i as f64 + 1.0);
+        }
+        assert_eq!(g.get(1, 4), 1.0);
+        assert_eq!(g.get(2, 2), 0.0, "gap row untouched");
+        assert_eq!(g.get(4, 0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn row_bands_reject_overlap() {
+        let mut g = ScoreGrid::zeros(4);
+        let _ = g.row_bands_mut(&[0..2, 1..3]);
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub struct Report {
     pub peak_intermediate_bytes: usize,
     /// Largest number of simultaneously live partial-sum buffers.
     pub peak_live_buffers: usize,
+    /// Worker threads used by the block-sharded iteration executor
+    /// (`0` when the algorithm does not run through it).
+    pub workers: usize,
 }
 
 impl Report {

@@ -38,6 +38,15 @@
 //! from-scratch Lambert-W implementation), [`instrument`] the measurements
 //! the paper's figures report (phase timings, addition counts, `d′`, peak
 //! intermediate memory).
+//!
+//! # Parallel execution
+//!
+//! Every iteration sweep (`naive`, `psum`, and the OIP [`engine`]) runs on
+//! the block-sharded executor in [`par`]: workers own disjoint row blocks
+//! of `S_{k+1}` (the OIP engine shards across independent sharing-tree
+//! segments) and per-worker instrumentation shards are merged exactly.
+//! Control the worker count with [`SimRankOptions::with_threads`]; scores
+//! are bit-for-bit identical for every thread count.
 
 pub mod convergence;
 pub mod dsr;
@@ -51,6 +60,7 @@ pub mod mtx;
 pub mod naive;
 pub mod oip;
 pub mod options;
+pub mod par;
 pub mod persist;
 pub mod plan;
 pub mod prank;

@@ -30,6 +30,18 @@ impl SimMatrix {
         }
     }
 
+    /// Fallible all-zeros constructor: `None` when the packed triangle
+    /// would overflow `usize` or the allocator refuses it. The persistence
+    /// codec uses this so a corrupt header claiming a gigantic order
+    /// surfaces as a typed error instead of an allocation abort.
+    pub fn try_zeros(n: usize) -> Option<Self> {
+        let len = n.checked_mul(n.checked_add(1)?)? / 2;
+        let mut data = Vec::new();
+        data.try_reserve_exact(len).ok()?;
+        data.resize(len, 0.0);
+        Some(SimMatrix { n, data })
+    }
+
     /// Identity matrix — the SimRank iteration seed `S₀`.
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n);
@@ -263,5 +275,15 @@ mod tests {
         let items: Vec<_> = m.iter_upper().collect();
         assert_eq!(items.len(), 6);
         assert!(items.contains(&(0, 2, 0.3)));
+    }
+
+    #[test]
+    fn try_zeros_rejects_absurd_orders() {
+        assert!(SimMatrix::try_zeros(3).is_some());
+        assert_eq!(SimMatrix::try_zeros(0).unwrap().order(), 0);
+        // tri(n) overflows usize: must fail cleanly, not abort.
+        assert!(SimMatrix::try_zeros(usize::MAX).is_none());
+        // Fits arithmetic but not the address space (u32::MAX order ≈ 64 EiB).
+        assert!(SimMatrix::try_zeros(u32::MAX as usize).is_none());
     }
 }

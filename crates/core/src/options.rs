@@ -1,6 +1,31 @@
 //! Algorithm configuration shared by every SimRank variant.
 
 use crate::convergence;
+use std::num::NonZeroUsize;
+
+/// Environment override consulted by [`SimRankOptions::default`]: set
+/// `SIMRANK_TEST_THREADS=<n>` to pin the default worker count (the CI
+/// determinism matrix runs the whole suite at 1 and 4).
+pub const THREADS_ENV: &str = "SIMRANK_TEST_THREADS";
+
+/// Default worker count: the [`THREADS_ENV`] override when set and valid,
+/// else the machine's available parallelism, else 1. Resolved once per
+/// process — `SimRankOptions::default()` is called in hot loops and must
+/// not pay a getenv + syscall each time.
+fn default_threads() -> NonZeroUsize {
+    static DEFAULT: std::sync::OnceLock<NonZeroUsize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(raw) = std::env::var(THREADS_ENV) {
+            match raw.trim().parse::<NonZeroUsize>() {
+                Ok(t) => return t,
+                Err(_) => eprintln!(
+                    "warning: ignoring invalid {THREADS_ENV}={raw:?} (want an integer >= 1)"
+                ),
+            }
+        }
+        std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+    })
+}
 
 /// How tree-edge transition costs are modeled — the knob behind the
 /// `ablation_cost_model` bench.
@@ -47,6 +72,12 @@ pub struct SimRankOptions {
     /// the minimum spanning arborescence (`ablation_dmst_algo`). Both yield
     /// equal-weight trees on `DMST-Reduce` cost graphs.
     pub use_edmonds: bool,
+    /// Worker threads for the block-sharded iteration executor ([`crate::par`]).
+    /// Defaults to the machine's available parallelism (overridable via the
+    /// `SIMRANK_TEST_THREADS` environment variable). Scores are **bit-for-bit
+    /// identical** for every value: workers own disjoint row blocks and the
+    /// per-row arithmetic never changes, only the interleaving.
+    pub threads: NonZeroUsize,
 }
 
 impl Default for SimRankOptions {
@@ -60,6 +91,7 @@ impl Default for SimRankOptions {
             outer_sharing: true,
             cost_model: CostModel::Min,
             use_edmonds: false,
+            threads: default_threads(),
         }
     }
 }
@@ -113,6 +145,14 @@ impl SimRankOptions {
     /// Selects full Chu–Liu/Edmonds for tree extraction.
     pub fn with_edmonds(mut self, on: bool) -> Self {
         self.use_edmonds = on;
+        self
+    }
+
+    /// Sets the worker-thread count (must be at least 1). `1` reproduces the
+    /// historical single-threaded execution exactly; any `N` produces
+    /// bit-for-bit the same scores.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = NonZeroUsize::new(threads).expect("threads must be at least 1, got 0");
         self
     }
 
@@ -178,6 +218,19 @@ mod tests {
             .with_epsilon(1e-4);
         assert_eq!(o.conventional_iterations(), 42);
         assert!(o.differential_iterations() <= 8);
+    }
+
+    #[test]
+    fn threads_builder_and_default() {
+        let o = SimRankOptions::default();
+        assert!(o.threads.get() >= 1);
+        assert_eq!(o.with_threads(4).threads.get(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads")]
+    fn rejects_zero_threads() {
+        let _ = SimRankOptions::default().with_threads(0);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Block-sharded multi-threaded execution of iteration sweeps.
+//!
+//! Every all-pairs sweep in this crate writes each row of the next score
+//! grid from a read-only view of the current one, so an iteration
+//! parallelizes by *partitioning rows* across workers: each worker owns a
+//! contiguous block (or, for the OIP engine, a set of independent sharing
+//! subtrees) and writes disjoint rows of `S_{k+1}` with no locks on the hot
+//! path. Because the per-row arithmetic is exactly the single-threaded
+//! sequence — only the interleaving across rows changes — results are
+//! **bit-for-bit identical for every worker count**, and the determinism
+//! contract `threads = N ⇔ threads = 1` holds exactly, not just within a
+//! tolerance.
+//!
+//! Instrumentation stays exact the same way: each worker accumulates into a
+//! private [`OpCounter`] shard and the shards are summed after the join
+//! (`u64` addition is associative and commutative, so the merged count
+//! equals the single-threaded count).
+
+use crate::grid::ScoreGrid;
+use crate::instrument::OpCounter;
+use std::marker::PhantomData;
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Effective worker count for `jobs` independent work items: never more
+/// workers than requested, never more than there are jobs (an idle spawn is
+/// pure overhead), and always at least one so degenerate inputs still run
+/// the inline path.
+pub fn effective_workers(requested: NonZeroUsize, jobs: usize) -> usize {
+    requested.get().min(jobs.max(1))
+}
+
+/// Partitions `0..len` into at most `workers` contiguous, near-equal
+/// blocks (sizes differ by at most one, larger blocks first). Returns an
+/// empty vector when `len == 0`.
+pub fn blocks(len: usize, workers: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let w = workers.clamp(1, len);
+    let base = len / w;
+    let extra = len % w;
+    let mut out = Vec::with_capacity(w);
+    let mut start = 0;
+    for i in 0..w {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Greedy longest-processing-time assignment of weighted jobs to at most
+/// `workers` bins. Returns one job-index list per non-empty bin; the
+/// assignment is deterministic (ties resolve toward lower bin and job
+/// indices). Used by the OIP engine, whose independent schedule segments
+/// (root subtrees of the sharing tree) can be wildly uneven.
+pub fn balance(weights: &[usize], workers: usize) -> Vec<Vec<usize>> {
+    let w = workers.clamp(1, weights.len().max(1));
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&j| (std::cmp::Reverse(weights[j]), j));
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); w];
+    let mut loads = vec![0usize; w];
+    for j in order {
+        let lightest = (0..w).min_by_key(|&b| (loads[b], b)).expect("w >= 1");
+        loads[lightest] += weights[j];
+        bins[lightest].push(j);
+    }
+    bins.retain(|b| !b.is_empty());
+    bins
+}
+
+/// Runs `work` once per item, one scoped worker thread per item, and
+/// returns the merged operation count. A single item runs inline on the
+/// calling thread — `threads = 1` never spawns and follows exactly the
+/// historical single-threaded code path.
+pub fn run_sharded<I, W>(items: Vec<I>, work: W) -> u64
+where
+    I: Send,
+    W: Fn(I, &mut OpCounter) + Sync,
+{
+    match items.len() {
+        0 => 0,
+        1 => {
+            let mut counter = OpCounter::new();
+            let item = items.into_iter().next().expect("one item");
+            work(item, &mut counter);
+            counter.total()
+        }
+        _ => std::thread::scope(|s| {
+            let work = &work;
+            let handles: Vec<_> = items
+                .into_iter()
+                .map(|item| {
+                    s.spawn(move || {
+                        let mut counter = OpCounter::new();
+                        work(item, &mut counter);
+                        counter.total()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simrank worker thread panicked"))
+                .sum()
+        }),
+    }
+}
+
+/// Hands out disjoint mutable rows of the write-side score grid to worker
+/// threads.
+///
+/// The contiguous-band sweeps (`naive`, `psum`) split the grid safely with
+/// [`ScoreGrid::row_bands_mut`]; the OIP engine cannot, because a sharing
+/// subtree emits an arbitrary scattered subset of rows. `RowWriter` is the
+/// minimal unsafe escape hatch for that case: it is a raw view of the grid
+/// whose **callers must guarantee** that no row index is handed to two
+/// workers. The engine satisfies this structurally — every target is
+/// emitted exactly once per iteration, and workers own disjoint segment
+/// sets — so each row is written by exactly one thread per iteration.
+pub struct RowWriter<'g> {
+    data: *mut f64,
+    n: usize,
+    _grid: PhantomData<&'g mut ScoreGrid>,
+}
+
+// SAFETY: the raw pointer is only dereferenced through `row_mut`, whose
+// contract confines every row to a single thread; distinct rows are
+// disjoint memory.
+unsafe impl Send for RowWriter<'_> {}
+unsafe impl Sync for RowWriter<'_> {}
+
+impl<'g> RowWriter<'g> {
+    /// Wraps a grid for disjoint-row sharing. The borrow keeps the grid
+    /// inaccessible (and thus unaliased) for the writer's whole lifetime.
+    pub fn new(grid: &'g mut ScoreGrid) -> Self {
+        let n = grid.order();
+        RowWriter {
+            data: grid.data_mut().as_mut_ptr(),
+            n,
+            _grid: PhantomData,
+        }
+    }
+
+    /// Mutable view of row `a`.
+    ///
+    /// # Safety
+    ///
+    /// While any returned slice is live, no other call (from any thread)
+    /// may request the same `a`. Disjoint rows never alias.
+    #[allow(clippy::mut_from_ref)] // the whole point: disjoint &mut rows from a shared handle
+    #[inline]
+    pub unsafe fn row_mut(&self, a: usize) -> &mut [f64] {
+        debug_assert!(a < self.n, "row {a} out of range for order {}", self.n);
+        std::slice::from_raw_parts_mut(self.data.add(a * self.n), self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_cover_and_balance() {
+        let bs = blocks(10, 3);
+        assert_eq!(bs, vec![0..4, 4..7, 7..10]);
+        assert_eq!(blocks(0, 4), vec![]);
+        assert_eq!(blocks(2, 8), vec![0..1, 1..2]);
+        assert_eq!(blocks(5, 1), vec![0..5]);
+    }
+
+    #[test]
+    fn effective_workers_caps_at_jobs() {
+        let eight = NonZeroUsize::new(8).unwrap();
+        assert_eq!(effective_workers(eight, 3), 3);
+        assert_eq!(effective_workers(eight, 100), 8);
+        assert_eq!(effective_workers(eight, 0), 1);
+        assert_eq!(effective_workers(NonZeroUsize::MIN, 100), 1);
+    }
+
+    #[test]
+    fn balance_is_deterministic_and_complete() {
+        let bins = balance(&[10, 1, 1, 1, 9, 2], 2);
+        // Every job appears exactly once.
+        let mut all: Vec<usize> = bins.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        // LPT: the two heavy jobs land in different bins.
+        let bin_of = |j: usize| bins.iter().position(|b| b.contains(&j)).unwrap();
+        assert_ne!(bin_of(0), bin_of(4));
+        assert_eq!(bins, balance(&[10, 1, 1, 1, 9, 2], 2), "deterministic");
+    }
+
+    #[test]
+    fn balance_handles_degenerate_inputs() {
+        assert!(balance(&[], 4).is_empty());
+        assert_eq!(balance(&[5], 4), vec![vec![0]]);
+    }
+
+    #[test]
+    fn run_sharded_merges_counts() {
+        let items: Vec<u64> = (1..=8).collect();
+        let total = run_sharded(items, |x, c| c.add(x));
+        assert_eq!(total, 36);
+        assert_eq!(run_sharded(Vec::<u64>::new(), |x, c| c.add(x)), 0);
+        assert_eq!(run_sharded(vec![7u64], |x, c| c.add(x)), 7);
+    }
+
+    #[test]
+    fn row_writer_disjoint_rows() {
+        let mut g = ScoreGrid::zeros(4);
+        {
+            let w = RowWriter::new(&mut g);
+            // Each row touched exactly once: the contract the engine upholds.
+            std::thread::scope(|s| {
+                for a in 0..4 {
+                    let w = &w;
+                    s.spawn(move || {
+                        // SAFETY: row `a` is visited by exactly one thread.
+                        let row = unsafe { w.row_mut(a) };
+                        for (b, v) in row.iter_mut().enumerate() {
+                            *v = (a * 10 + b) as f64;
+                        }
+                    });
+                }
+            });
+        }
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(g.get(a, b), (a * 10 + b) as f64);
+            }
+        }
+    }
+}

@@ -5,6 +5,11 @@
 //! scores survive process restarts and can be shipped between machines.
 //! Little-endian `f64`s; format:
 //! `magic "SRM1" | order u32 | n(n+1)/2 doubles`.
+//!
+//! Every malformed-input path returns a typed [`PersistError`] — wrong
+//! magic, truncated header or payload, trailing bytes, a header order too
+//! large to allocate, and (for files) a size that contradicts the header —
+//! so corrupted caches fail loudly without panicking or aborting.
 
 use crate::matrix::SimMatrix;
 use std::fmt;
@@ -14,8 +19,31 @@ use std::path::Path;
 /// Errors from the score codec.
 #[derive(Debug)]
 pub enum PersistError {
-    /// Malformed or truncated payload.
-    Codec(String),
+    /// The stream does not start with the `SRM1` magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The stream ended before the structure it promised was complete.
+    Truncated {
+        /// Which part of the structure was cut short.
+        context: String,
+    },
+    /// Well-formed matrix followed by unexpected extra bytes.
+    TrailingBytes,
+    /// The header claims an order whose packed triangle cannot be
+    /// represented or allocated.
+    OrderTooLarge {
+        /// The order claimed by the header.
+        order: u64,
+    },
+    /// The file's size contradicts the length implied by its header.
+    SizeMismatch {
+        /// Bytes implied by the header.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -23,13 +51,37 @@ pub enum PersistError {
 impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PersistError::Codec(m) => write!(f, "score codec error: {m}"),
+            PersistError::BadMagic { found } => {
+                write!(f, "score codec error: bad magic {found:?}")
+            }
+            PersistError::Truncated { context } => {
+                write!(f, "score codec error: truncated {context}")
+            }
+            PersistError::TrailingBytes => {
+                write!(f, "score codec error: trailing bytes after matrix")
+            }
+            PersistError::OrderTooLarge { order } => {
+                write!(f, "score codec error: order {order} too large to allocate")
+            }
+            PersistError::SizeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "score codec error: expected {expected} bytes from header, found {actual}"
+                )
+            }
             PersistError::Io(e) => write!(f, "score I/O error: {e}"),
         }
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
@@ -38,10 +90,20 @@ impl From<std::io::Error> for PersistError {
 }
 
 const MAGIC: [u8; 4] = *b"SRM1";
+/// Header bytes: magic + order.
+const HEADER_BYTES: u64 = 8;
+
+/// Packed-triangle entry count for order `n`.
+fn entries(n: u64) -> u64 {
+    n * (n + 1) / 2
+}
 
 /// Serializes `scores` to a writer.
 pub fn write_scores<W: Write>(scores: &SimMatrix, mut w: W) -> Result<(), PersistError> {
     let n = scores.order();
+    if n > u32::MAX as usize {
+        return Err(PersistError::OrderTooLarge { order: n as u64 });
+    }
     w.write_all(&MAGIC)?;
     w.write_all(&(n as u32).to_le_bytes())?;
     // Stream the packed triangle in row order (a ≤ b ⇒ stored once).
@@ -51,32 +113,50 @@ pub fn write_scores<W: Write>(scores: &SimMatrix, mut w: W) -> Result<(), Persis
     Ok(())
 }
 
-/// Deserializes scores from a reader.
-pub fn read_scores<R: Read>(mut r: R) -> Result<SimMatrix, PersistError> {
+/// Reads and validates the header, returning the order.
+fn read_header<R: Read>(r: &mut R) -> Result<usize, PersistError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)
-        .map_err(|_| PersistError::Codec("truncated header".into()))?;
+        .map_err(|_| PersistError::Truncated {
+            context: "header".into(),
+        })?;
     if magic != MAGIC {
-        return Err(PersistError::Codec(format!("bad magic {magic:?}")));
+        return Err(PersistError::BadMagic { found: magic });
     }
     let mut nb = [0u8; 4];
-    r.read_exact(&mut nb)
-        .map_err(|_| PersistError::Codec("truncated order".into()))?;
-    let n = u32::from_le_bytes(nb) as usize;
-    let mut out = SimMatrix::zeros(n);
+    r.read_exact(&mut nb).map_err(|_| PersistError::Truncated {
+        context: "order".into(),
+    })?;
+    Ok(u32::from_le_bytes(nb) as usize)
+}
+
+/// Reads the packed triangle for a validated order.
+fn read_body<R: Read>(r: &mut R, n: usize) -> Result<SimMatrix, PersistError> {
+    // Allocation is fallible: a corrupt header claiming a gigantic order
+    // must become a typed error, never an OOM abort.
+    let mut out = SimMatrix::try_zeros(n).ok_or(PersistError::OrderTooLarge { order: n as u64 })?;
     let mut buf = [0u8; 8];
     for hi in 0..n {
         for lo in 0..=hi {
             r.read_exact(&mut buf)
-                .map_err(|_| PersistError::Codec(format!("truncated at entry ({lo},{hi})")))?;
+                .map_err(|_| PersistError::Truncated {
+                    context: format!("payload at entry ({lo},{hi})"),
+                })?;
             out.set(lo, hi, f64::from_le_bytes(buf));
         }
     }
+    Ok(out)
+}
+
+/// Deserializes scores from a reader.
+pub fn read_scores<R: Read>(mut r: R) -> Result<SimMatrix, PersistError> {
+    let n = read_header(&mut r)?;
+    let out = read_body(&mut r, n)?;
     // Reject trailing garbage so corrupted caches fail loudly.
     let mut probe = [0u8; 1];
     match r.read(&mut probe)? {
         0 => Ok(out),
-        _ => Err(PersistError::Codec("trailing bytes after matrix".into())),
+        _ => Err(PersistError::TrailingBytes),
     }
 }
 
@@ -90,9 +170,24 @@ pub fn save_scores(scores: &SimMatrix, path: &Path) -> Result<(), PersistError> 
 }
 
 /// Loads scores from `path`.
+///
+/// Unlike the streaming [`read_scores`], the file length is checked against
+/// the header *before* the triangle is allocated, so a truncated or padded
+/// cache file is rejected without reading (or reserving memory for) the
+/// payload.
 pub fn load_scores(path: &Path) -> Result<SimMatrix, PersistError> {
     let file = std::fs::File::open(path)?;
-    read_scores(std::io::BufReader::new(file))
+    let actual = file.metadata()?.len();
+    let mut r = std::io::BufReader::new(file);
+    let n = read_header(&mut r)?;
+    let expected = entries(n as u64)
+        .checked_mul(8)
+        .and_then(|b| b.checked_add(HEADER_BYTES))
+        .ok_or(PersistError::OrderTooLarge { order: n as u64 })?;
+    if actual != expected {
+        return Err(PersistError::SizeMismatch { expected, actual });
+    }
+    read_body(&mut r, n)
 }
 
 #[cfg(test)]
@@ -139,17 +234,88 @@ mod tests {
         // Bad magic.
         let mut bad = buf.clone();
         bad[0] ^= 0xff;
-        assert!(matches!(read_scores(&bad[..]), Err(PersistError::Codec(_))));
-        // Truncation.
-        let short = &buf[..buf.len() - 5];
-        assert!(matches!(read_scores(short), Err(PersistError::Codec(_))));
+        assert!(matches!(
+            read_scores(&bad[..]),
+            Err(PersistError::BadMagic { found }) if found[0] == (b'S' ^ 0xff)
+        ));
+        // Truncation: mid-payload, mid-order, and mid-magic.
+        assert!(matches!(
+            read_scores(&buf[..buf.len() - 5]),
+            Err(PersistError::Truncated { .. })
+        ));
+        assert!(matches!(
+            read_scores(&buf[..6]),
+            Err(PersistError::Truncated { .. })
+        ));
+        assert!(matches!(
+            read_scores(&buf[..2]),
+            Err(PersistError::Truncated { .. })
+        ));
         // Trailing garbage.
         let mut long = buf.clone();
         long.push(0);
         assert!(matches!(
             read_scores(&long[..]),
-            Err(PersistError::Codec(_))
+            Err(PersistError::TrailingBytes)
         ));
+    }
+
+    #[test]
+    fn rejects_absurd_header_order_without_aborting() {
+        // A header claiming order u32::MAX implies a ~64 EiB triangle; the
+        // old codec would have tried to allocate it up front. Now it must
+        // come back as a typed error.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SRM1");
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(
+            read_scores(&buf[..]),
+            Err(PersistError::OrderTooLarge { order }) if order == u32::MAX as u64
+        ));
+    }
+
+    #[test]
+    fn load_checks_file_size_before_allocating() {
+        let dir = std::env::temp_dir().join("simrank-persist-test-size");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Header order inflated far beyond the payload: SizeMismatch, and
+        // crucially *before* any attempt to reserve the triangle.
+        let path = dir.join("inflated.srm");
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SRM1");
+        buf.extend_from_slice(&1_000_000u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        std::fs::write(&path, &buf).unwrap();
+        assert!(matches!(
+            load_scores(&path),
+            Err(PersistError::SizeMismatch { actual: 24, .. })
+        ));
+
+        // Truncated file: also a size mismatch.
+        let path2 = dir.join("truncated.srm");
+        let mut full = Vec::new();
+        write_scores(&sample(), &mut full).unwrap();
+        std::fs::write(&path2, &full[..full.len() - 1]).unwrap();
+        assert!(matches!(
+            load_scores(&path2),
+            Err(PersistError::SizeMismatch { .. })
+        ));
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        // The n > u32::MAX guard in `write_scores` itself is untestable
+        // (such a matrix cannot be built); cover the error type's surface.
+        let e = PersistError::OrderTooLarge { order: 1 << 40 };
+        assert!(e.to_string().contains("too large"));
+        let io = PersistError::from(std::io::Error::other("disk on fire"));
+        assert!(std::error::Error::source(&io).is_some());
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

@@ -102,6 +102,13 @@ pub struct SharingPlan {
     pub preorder: Vec<u32>,
     /// The inner-partial-sums schedule.
     pub schedule: Vec<Step>,
+    /// Contiguous, independently replayable ranges of [`Self::schedule`],
+    /// one per root subtree of the sharing tree. A segment starts with a
+    /// from-scratch computation and only ever reads buffers written inside
+    /// itself, so distinct segments can run on distinct workers (each with
+    /// a private buffer pool) in any order — the unit of parallelism for
+    /// the block-sharded engine.
+    pub segments: Vec<std::ops::Range<usize>>,
     /// Number of buffer slots the schedule needs.
     pub slots: usize,
     /// Total arborescence weight (sum of chosen transition costs).
@@ -139,7 +146,7 @@ impl SharingPlan {
                 let ins_p = g.in_neighbors(pv);
                 let ins_v = g.in_neighbors(v);
                 let sym = setops::symmetric_difference_size(ins_p, ins_v);
-                let scratch = ins_v.len() - 1;
+                let scratch = ins_v.len().saturating_sub(1);
                 let prefer_update = match opts.cost_model {
                     CostModel::Min => sym < scratch,
                     CostModel::ScratchOnly => false,
@@ -160,6 +167,7 @@ impl SharingPlan {
 
         let preorder = Self::preorder(&arb);
         let (schedule, slots) = Self::build_schedule(&arb, &ops);
+        let segments = Self::root_segments(&arb, &schedule);
         let tree_weight = arb.total_weight;
         SharingPlan {
             targets,
@@ -167,6 +175,7 @@ impl SharingPlan {
             ops,
             preorder,
             schedule,
+            segments,
             slots,
             tree_weight,
             build_time: start.elapsed(),
@@ -191,7 +200,7 @@ impl SharingPlan {
         let mut best_w: Vec<u64> = Vec::with_capacity(t);
         let mut best_p: Vec<usize> = vec![0; t];
         for &v in targets {
-            best_w.push(g.in_degree(v) as u64 - 1);
+            best_w.push((g.in_degree(v) as u64).saturating_sub(1));
         }
         if model != CostModel::ScratchOnly {
             for i in 0..t {
@@ -227,7 +236,11 @@ impl SharingPlan {
         let t = targets.len();
         let mut edges = Vec::with_capacity(t + t * (t.saturating_sub(1)) / 2);
         for (j, &v) in targets.iter().enumerate() {
-            edges.push(Edge::new(0, j + 1, g.in_degree(v) as u64 - 1));
+            edges.push(Edge::new(
+                0,
+                j + 1,
+                (g.in_degree(v) as u64).saturating_sub(1),
+            ));
         }
         if model != CostModel::ScratchOnly {
             for i in 0..t {
@@ -251,6 +264,30 @@ impl SharingPlan {
         edmonds(t + 1, &edges, 0)
             .or_else(|| dag_arborescence(t + 1, &edges, 0))
             .expect("cost graph is spanning from the root")
+    }
+
+    /// Splits the schedule at every root-child compute step. The schedule
+    /// builder walks one root subtree to completion before starting the
+    /// next, so each subtree occupies a contiguous step range; slot ids are
+    /// recycled *between* segments but never shared concurrently within
+    /// one, which is what makes per-worker buffer pools sound.
+    fn root_segments(arb: &Arborescence, schedule: &[Step]) -> Vec<std::ops::Range<usize>> {
+        let mut starts = Vec::new();
+        for (i, step) in schedule.iter().enumerate() {
+            let t = match *step {
+                Step::Scratch { t, .. } | Step::CopyUpdate { t, .. } | Step::InPlace { t, .. } => t,
+                Step::Emit { .. } => continue,
+            };
+            if arb.parent(t as usize + 1) == Some(0) {
+                starts.push(i);
+            }
+        }
+        let mut segments = Vec::with_capacity(starts.len());
+        for (i, &s) in starts.iter().enumerate() {
+            let end = starts.get(i + 1).copied().unwrap_or(schedule.len());
+            segments.push(s..end);
+        }
+        segments
     }
 
     /// Preorder over tree nodes (1-based), parents before children.
@@ -557,6 +594,70 @@ mod tests {
         let plan = SharingPlan::build(&g, &SimRankOptions::default());
         assert!(plan.targets.is_empty());
         assert!(plan.schedule.is_empty());
+        assert!(plan.segments.is_empty());
         assert_eq!(plan.slots, 0);
+    }
+
+    #[test]
+    fn segments_partition_schedule_into_root_subtrees() {
+        for plan in [
+            default_plan(),
+            SharingPlan::build(
+                &simrank_graph::gen::gnm(40, 160, 3),
+                &SimRankOptions::default(),
+            ),
+        ] {
+            // Segments tile the schedule exactly, in order.
+            let mut cursor = 0;
+            for seg in &plan.segments {
+                assert_eq!(seg.start, cursor);
+                assert!(seg.end > seg.start);
+                cursor = seg.end;
+            }
+            assert_eq!(cursor, plan.schedule.len());
+            // One segment per root child, each opening from scratch.
+            let root_children = (1..plan.arb.len())
+                .filter(|&v| plan.arb.parent(v) == Some(0))
+                .count();
+            assert_eq!(plan.segments.len(), root_children);
+            for seg in &plan.segments {
+                assert!(matches!(plan.schedule[seg.start], Step::Scratch { .. }));
+            }
+            // Segments are self-contained: every CopyUpdate/InPlace reads a
+            // slot whose current holder was computed inside the same segment.
+            for seg in &plan.segments {
+                let mut local: Vec<u32> = Vec::new();
+                for step in &plan.schedule[seg.clone()] {
+                    match *step {
+                        Step::Scratch { t, slot } => {
+                            if local.len() <= slot as usize {
+                                local.resize(slot as usize + 1, u32::MAX);
+                            }
+                            local[slot as usize] = t;
+                        }
+                        Step::CopyUpdate {
+                            t,
+                            parent_slot,
+                            slot,
+                        } => {
+                            assert_ne!(
+                                local[parent_slot as usize],
+                                u32::MAX,
+                                "parent buffer must come from this segment"
+                            );
+                            if local.len() <= slot as usize {
+                                local.resize(slot as usize + 1, u32::MAX);
+                            }
+                            local[slot as usize] = t;
+                        }
+                        Step::InPlace { t, slot } => {
+                            assert_ne!(local[slot as usize], u32::MAX);
+                            local[slot as usize] = t;
+                        }
+                        Step::Emit { t, slot } => assert_eq!(local[slot as usize], t),
+                    }
+                }
+            }
+        }
     }
 }

@@ -106,6 +106,9 @@ pub fn prank_with_report(g: &DiGraph, opts: &PRankOptions) -> (SimMatrix, Report
         d_eff: 0.5 * (in_plan.d_eff() + out_plan.d_eff()),
         peak_intermediate_bytes: (slots * n + n + 1) * 8,
         peak_live_buffers: slots,
+        // P-Rank still replays both direction plans on one thread (see
+        // ROADMAP "Open items"); 0 = not routed through the executor.
+        workers: 0,
     };
     (cur.to_sim_matrix(), report)
 }
@@ -135,7 +138,7 @@ fn half_pass(
                 for &x in ins {
                     cur.add_row_into(x as usize, buf);
                 }
-                counter.add((ins.len() as u64 - 1) * n as u64);
+                counter.add((ins.len() as u64).saturating_sub(1) * n as u64);
             }
             Step::CopyUpdate {
                 t,

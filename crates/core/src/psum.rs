@@ -15,6 +15,7 @@ use crate::grid::ScoreGrid;
 use crate::instrument::{OpCounter, PhaseTimer, Report};
 use crate::matrix::SimMatrix;
 use crate::options::SimRankOptions;
+use crate::par;
 use simrank_graph::{traversal, DiGraph, NodeId};
 
 /// All-pairs SimRank via partial sums memoization.
@@ -39,45 +40,73 @@ pub fn psum_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatri
 
     let mut cur = ScoreGrid::identity(n);
     let mut next = ScoreGrid::zeros(n);
-    let mut partial = vec![0.0f64; n];
+
+    // Each source's partial-sum chain is independent: shard the (sorted)
+    // target list into contiguous blocks. `targets` ascend, so a block of
+    // target indices maps to a contiguous band of output rows — the grid
+    // splits safely with no locks on the hot path.
+    let workers = par::effective_workers(opts.threads, targets.len());
+    let target_blocks = par::blocks(targets.len(), workers);
+    let row_bands: Vec<std::ops::Range<usize>> = target_blocks
+        .iter()
+        .map(|b| targets[b.start] as usize..targets[b.end - 1] as usize + 1)
+        .collect();
+
+    // Per-worker memoization buffers for Partial_{I(a)}(·), allocated once
+    // for the whole run.
+    let mut partials: Vec<Vec<f64>> = (0..target_blocks.len()).map(|_| vec![0.0f64; n]).collect();
 
     for _ in 0..k_max {
         next.clear();
-        for &a in &targets {
-            let ins_a = g.in_neighbors(a);
-            // Memoize Partial_{I(a)}(y) for all y (Eq. 4), from scratch.
-            partial.fill(0.0);
-            for &x in ins_a {
-                cur.add_row_into(x as usize, &mut partial);
-            }
-            counter.add((ins_a.len() as u64 - 1) * n as u64);
-            let da = ins_a.len() as f64;
-            let row = next.row_mut(a as usize);
-            for &b in &targets {
-                if b == a {
-                    continue;
-                }
-                if let Some(comp) = &components {
-                    if comp[a as usize] != comp[b as usize] {
-                        continue; // essential-pair filter: provably zero
+        let bands = next.row_bands_mut(&row_bands);
+        let items: Vec<_> = target_blocks
+            .iter()
+            .cloned()
+            .zip(bands)
+            .zip(partials.iter_mut())
+            .collect();
+        counter.add(par::run_sharded(
+            items,
+            |((block, band), partial), counter| {
+                let band_start = targets[block.start] as usize;
+                for &a in &targets[block] {
+                    let ins_a = g.in_neighbors(a);
+                    // Memoize Partial_{I(a)}(y) for all y (Eq. 4), from scratch.
+                    partial.fill(0.0);
+                    for &x in ins_a {
+                        cur.add_row_into(x as usize, partial);
+                    }
+                    counter.add((ins_a.len() as u64).saturating_sub(1) * n as u64);
+                    let da = ins_a.len() as f64;
+                    let r = a as usize - band_start;
+                    let row = &mut band[r * n..(r + 1) * n];
+                    for &b in &targets {
+                        if b == a {
+                            continue;
+                        }
+                        if let Some(comp) = &components {
+                            if comp[a as usize] != comp[b as usize] {
+                                continue; // essential-pair filter: provably zero
+                            }
+                        }
+                        let ins_b = g.in_neighbors(b);
+                        // Outer sum accumulated one-by-one (Eq. 5) — no sharing.
+                        let mut sum = 0.0;
+                        for &j in ins_b {
+                            sum += partial[j as usize];
+                        }
+                        counter.add((ins_b.len() as u64).saturating_sub(1));
+                        let mut val = c / (da * ins_b.len() as f64) * sum;
+                        if let Some(delta) = opts.threshold {
+                            if val < delta {
+                                val = 0.0;
+                            }
+                        }
+                        row[b as usize] = val;
                     }
                 }
-                let ins_b = g.in_neighbors(b);
-                // Outer sum accumulated one-by-one (Eq. 5) — no sharing.
-                let mut sum = 0.0;
-                for &j in ins_b {
-                    sum += partial[j as usize];
-                }
-                counter.add(ins_b.len() as u64 - 1);
-                let mut val = c / (da * ins_b.len() as f64) * sum;
-                if let Some(delta) = opts.threshold {
-                    if val < delta {
-                        val = 0.0;
-                    }
-                }
-                row[b as usize] = val;
-            }
-        }
+            },
+        ));
         next.set_diagonal(1.0);
         std::mem::swap(&mut cur, &mut next);
     }
@@ -86,9 +115,11 @@ pub fn psum_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatri
         iterations: k_max,
         adds: counter.total(),
         share_sums: timer.lap(),
-        // One n-vector of partial sums is the only intermediate state.
-        peak_intermediate_bytes: n * std::mem::size_of::<f64>(),
-        peak_live_buffers: 1,
+        // One n-vector of partial sums per worker is the only intermediate
+        // state.
+        peak_intermediate_bytes: workers * n * std::mem::size_of::<f64>(),
+        peak_live_buffers: workers,
+        workers,
         ..Default::default()
     };
     (cur.to_sim_matrix(), report)
@@ -183,6 +214,46 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_target_sets_never_underflow_counters() {
+        // Regression for the `(len - 1) * n` counter arithmetic: when the
+        // target set degenerates (no vertex has in-edges, or a single
+        // vertex does), a `0 - 1` in `u64` would wrap to ~2^64 and poison
+        // `Report::adds`. All sweeps must report exact small counts.
+        use crate::naive::naive_simrank_with_report;
+        use crate::oip::oip_simrank_with_report;
+        use crate::prank::{prank_with_report, PRankOptions};
+        let opts = SimRankOptions::default().with_iterations(3);
+        // Edgeless: target set is empty.
+        let empty = simrank_graph::DiGraph::from_edges(4, []).unwrap();
+        // One self-loop: a single target whose only in-neighbor is itself.
+        let loop_only = simrank_graph::DiGraph::from_edges(3, [(1, 1)]).unwrap();
+        for g in [&empty, &loop_only] {
+            for (name, adds) in [
+                ("psum", psum_simrank_with_report(g, &opts).1.adds),
+                ("naive", naive_simrank_with_report(g, &opts).1.adds),
+                ("oip", oip_simrank_with_report(g, &opts).1.adds),
+                (
+                    "prank",
+                    prank_with_report(
+                        g,
+                        &PRankOptions {
+                            base: opts,
+                            lambda: 0.5,
+                        },
+                    )
+                    .1
+                    .adds,
+                ),
+            ] {
+                assert!(
+                    adds < 1_000,
+                    "{name}: degenerate graph reported {adds} adds (counter wrapped?)"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn report_counts_match_complexity_model() {
         // For psum-SR the additions per iteration are
         // n·Σ(|I(a)|−1) + Σ_a Σ_b (|I(b)|−1) — check the exact count on the
@@ -195,10 +266,18 @@ mod tests {
     }
 
     #[test]
-    fn peak_memory_is_one_buffer() {
+    fn peak_memory_is_one_buffer_per_worker() {
         let g = paper_fig1a();
-        let (_, r) = psum_simrank_with_report(&g, &SimRankOptions::default().with_iterations(1));
+        let opts = SimRankOptions::default().with_iterations(1).with_threads(1);
+        let (_, r) = psum_simrank_with_report(&g, &opts);
         assert_eq!(r.peak_intermediate_bytes, 9 * 8);
         assert_eq!(r.peak_live_buffers, 1);
+        assert_eq!(r.workers, 1);
+        // Two workers double the live memoization state (6 targets split 3+3).
+        let (_, r2) = psum_simrank_with_report(&g, &opts.with_threads(2));
+        assert_eq!(r2.peak_intermediate_bytes, 2 * 9 * 8);
+        assert_eq!(r2.workers, 2);
+        // ... but never the operation count: shards merge exactly.
+        assert_eq!(r2.adds, r.adds);
     }
 }

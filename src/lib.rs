@@ -24,6 +24,25 @@
 //! let ab = scores.get(0, 1); // s(a, b) in the paper's lettering
 //! assert!(ab >= 0.0 && ab <= 1.0);
 //! ```
+//!
+//! # Parallel execution
+//!
+//! The iterative sweeps (`naive`, `psum`, and the OIP engine behind
+//! `oip`/`oip_dsr`) run on `simrank_core`'s block-sharded executor:
+//! workers own disjoint row blocks of each iteration's output and merge
+//! their instrumentation shards exactly. `SimRankOptions::with_threads`
+//! sets the worker count (default: all cores); scores are bit-for-bit
+//! identical for every value, so parallelism is purely a throughput knob:
+//!
+//! ```
+//! use simrank::prelude::*;
+//!
+//! let g = simrank::graph::fixtures::paper_fig1a();
+//! let opts = SimRankOptions::default().with_iterations(8);
+//! let a = oip_simrank(&g, &opts.with_threads(1));
+//! let b = oip_simrank(&g, &opts.with_threads(4));
+//! assert_eq!(a.max_abs_diff(&b), 0.0);
+//! ```
 
 pub use simrank_core as algo;
 pub use simrank_datasets as datasets;

@@ -6,6 +6,14 @@
 
 use simrank::algo::{dsr, naive, oip, psum, SimRankOptions};
 use simrank::graph::DiGraph;
+use simrank::prelude::*;
+
+/// Worker count for the adversarial sweeps: honors the CI determinism
+/// matrix (`SIMRANK_TEST_THREADS`) via [`SimRankOptions::default`]; results
+/// are identical for every value by the executor's determinism contract.
+fn test_opts(k: u32) -> SimRankOptions {
+    SimRankOptions::default().with_iterations(k)
+}
 
 fn converged(g: &DiGraph, c: f64) -> simrank::algo::SimMatrix {
     oip::oip_simrank(
@@ -132,6 +140,148 @@ fn degenerate_graphs() {
     let empty = DiGraph::from_edges(0, []).unwrap();
     assert_eq!(oip::oip_simrank(&empty, &opts).order(), 0);
     assert_eq!(psum::psum_simrank(&empty, &opts).order(), 0);
+}
+
+/// Graphs that historically break symmetry or indexing assumptions: a
+/// vertex that cites itself is its own in-neighbor, dangling sinks have no
+/// out-edges, sources have no in-edges, and isolated vertices have neither.
+fn adversarial_graphs() -> Vec<(&'static str, DiGraph)> {
+    vec![
+        (
+            "self-loops",
+            DiGraph::from_edges(5, [(0, 0), (0, 1), (0, 2), (1, 2), (2, 2), (3, 0), (3, 3)])
+                .unwrap(),
+        ),
+        (
+            // 4 is a dangling sink, 5 is fully isolated.
+            "dangling+isolated",
+            DiGraph::from_edges(6, [(0, 1), (0, 2), (1, 4), (2, 4), (3, 1)]).unwrap(),
+        ),
+        (
+            // Self-loop on a hub plus an isolated pair and a dangling chain.
+            "mixed",
+            DiGraph::from_edges(7, [(0, 0), (1, 0), (0, 2), (1, 2), (2, 3), (3, 4)]).unwrap(),
+        ),
+    ]
+}
+
+/// All seven prelude entry points run on every adversarial graph; the three
+/// exact conventional algorithms (naive / psum / oip) must agree within
+/// 1e-8, everything else must respect the SimRank axioms (symmetry is
+/// structural in `SimMatrix`; ranges and diagonals are checked explicitly).
+#[test]
+fn all_prelude_entry_points_agree_on_adversarial_graphs() {
+    for (name, g) in adversarial_graphs() {
+        let n = g.node_count();
+        let opts = test_opts(10);
+        // 1–3: the conventional trio is an exact cross-oracle.
+        let by_naive = naive_simrank(&g, &opts);
+        let by_psum = psum_simrank(&g, &opts);
+        let by_oip = oip_simrank(&g, &opts);
+        assert!(
+            by_naive.max_abs_diff(&by_psum) < 1e-8,
+            "{name}: psum vs naive {}",
+            by_naive.max_abs_diff(&by_psum)
+        );
+        assert!(
+            by_naive.max_abs_diff(&by_oip) < 1e-8,
+            "{name}: oip vs naive {}",
+            by_naive.max_abs_diff(&by_oip)
+        );
+        for a in 0..n {
+            assert_eq!(by_oip.get(a, a), 1.0, "{name}: diagonal pinned");
+            for b in 0..n {
+                let v = by_oip.get(a, b);
+                assert!((0.0..=1.0).contains(&v), "{name}: s({a},{b}) = {v}");
+            }
+        }
+        // 4: differential SimRank — exponential model, bounded and with
+        // e^{-C} ≤ diagonal ≤ 1.
+        let by_dsr = oip_dsr_simrank(&g, &opts);
+        let floor = (-opts.damping).exp() - 1e-12;
+        for a in 0..n {
+            let d = by_dsr.get(a, a);
+            assert!(
+                d >= floor && d <= 1.0 + 1e-12,
+                "{name}: dsr diagonal {d} outside [e^-C, 1]"
+            );
+            for b in 0..n {
+                let v = by_dsr.get(a, b);
+                assert!(
+                    (-1e-12..=1.0 + 1e-12).contains(&v),
+                    "{name}: dsr({a},{b}) = {v}"
+                );
+            }
+        }
+        // 5: mtx-SR (matrix-form semantics, diagonal not pinned) — bounded
+        // and zero wherever structure forbids similarity.
+        let by_mtx = mtx_simrank(&g, &opts, None);
+        for a in 0..n {
+            for b in 0..n {
+                let v = by_mtx.get(a, b);
+                assert!(
+                    (-1e-8..=1.0 + 1e-8).contains(&v),
+                    "{name}: mtx({a},{b}) = {v}"
+                );
+            }
+        }
+        // 6: P-Rank with λ = 1 degenerates to SimRank exactly, self-loops
+        // and all.
+        let by_prank = prank(
+            &g,
+            &PRankOptions {
+                base: opts,
+                lambda: 1.0,
+            },
+        );
+        assert!(
+            by_prank.max_abs_diff(&by_oip) < 1e-10,
+            "{name}: prank(λ=1) vs oip {}",
+            by_prank.max_abs_diff(&by_oip)
+        );
+        // 7: Monte Carlo estimates stay in [0, 1] and vanish where the
+        // exact score is structurally zero (isolated / source vertices).
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                let est = mc_simrank_pair(&g, a, b, &opts, 8, 200, 42);
+                assert!((0.0..=1.0).contains(&est), "{name}: mc({a},{b}) = {est}");
+                if g.in_degree(a) == 0 && a != b {
+                    assert_eq!(est, 0.0, "{name}: mc must be 0 for in-degree-0 {a}");
+                }
+            }
+        }
+    }
+}
+
+/// The executor's determinism contract holds on the adversarial graphs
+/// end-to-end: `threads = 4` reproduces `threads = 1` bit-for-bit through
+/// the public facade.
+#[test]
+fn adversarial_graphs_are_thread_count_invariant() {
+    for (name, g) in adversarial_graphs() {
+        let single = test_opts(12).with_threads(1);
+        let sharded = single.with_threads(4);
+        assert_eq!(
+            naive_simrank(&g, &single).max_abs_diff(&naive_simrank(&g, &sharded)),
+            0.0,
+            "{name}: naive"
+        );
+        assert_eq!(
+            psum_simrank(&g, &single).max_abs_diff(&psum_simrank(&g, &sharded)),
+            0.0,
+            "{name}: psum"
+        );
+        assert_eq!(
+            oip_simrank(&g, &single).max_abs_diff(&oip_simrank(&g, &sharded)),
+            0.0,
+            "{name}: oip"
+        );
+        assert_eq!(
+            dsr::oip_dsr_simrank(&g, &single).max_abs_diff(&dsr::oip_dsr_simrank(&g, &sharded)),
+            0.0,
+            "{name}: dsr"
+        );
+    }
 }
 
 /// Duplicate in-neighbor sets (the zero-cost sharing case): thousands of
