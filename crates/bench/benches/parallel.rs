@@ -1,17 +1,23 @@
-//! Speedup curve of the block-sharded parallel executor.
+//! Speedup curve of the persistent worker-pool executor.
 //!
-//! Sweeps the `threads` knob over the three sharded sweeps on the largest
+//! Sweeps the `threads` knob over every pooled surface on the largest
 //! bench fixture (the BERKSTAN-like copying graph — the densest in-set
-//! overlap, hence the heaviest per-iteration work). Scores are bit-for-bit
-//! identical across the sweep by the executor's determinism contract, so
-//! any timing difference is pure scheduling: on a multi-core host the
-//! `threads = N` rows should undercut `threads = 1`, and on a single-core
-//! host they should tie (the executor never spawns more workers than can
-//! help).
+//! overlap, hence the heaviest per-iteration work): the OIP engine replay,
+//! the psum row-band sweep, both P-Rank direction passes, Monte-Carlo
+//! fingerprint sampling, and the plan builder's candidate-pair scan.
+//! Results are bit-for-bit identical across the sweep by the executor's
+//! determinism contract, so any timing difference is pure scheduling: on a
+//! multi-core host the `threads = N` rows should undercut `threads = 1`
+//! (and the pooled engine should beat the old per-iteration spawning on
+//! high-iteration runs), while on a single-core host they should tie (the
+//! executor never spawns more workers than can help).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simrank_core::montecarlo::Fingerprints;
+use simrank_core::prank::{prank, PRankOptions};
 use simrank_core::{oip, psum, SharingPlan, SimRankOptions};
 use simrank_datasets as datasets;
+use std::num::NonZeroUsize;
 
 const SEED: u64 = datasets::DEFAULT_SEED;
 
@@ -25,7 +31,9 @@ fn thread_sweep() -> Vec<usize> {
     ts
 }
 
-/// OIP-SR iteration sweep (plan prebuilt: measures the sharded replay).
+/// OIP-SR iteration sweep (plan prebuilt: measures the pooled engine
+/// replay — one pool per run, one barrier-synchronized sweep per
+/// iteration).
 fn parallel_oip(c: &mut Criterion) {
     let d = datasets::berkstan_like(800, SEED);
     let g = &d.graph;
@@ -58,5 +66,63 @@ fn parallel_psum(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(parallel, parallel_oip, parallel_psum);
+/// P-Rank sweep: two sharded direction passes per iteration on one pool
+/// (plan build included — it shards across the same knob).
+fn parallel_prank(c: &mut Criterion) {
+    let d = datasets::berkstan_like(600, SEED);
+    let g = &d.graph;
+    let base = SimRankOptions::default().with_iterations(5);
+    let mut group = c.benchmark_group("parallel_prank");
+    group.sample_size(10);
+    for t in thread_sweep() {
+        let opts = PRankOptions {
+            base: base.with_threads(t),
+            lambda: 0.5,
+        };
+        group.bench_with_input(BenchmarkId::new("threads", t), &opts, |b, opts| {
+            b.iter(|| prank(g, opts))
+        });
+    }
+    group.finish();
+}
+
+/// Monte-Carlo fingerprint sampling sweep (per-walk seeded node bands).
+fn parallel_montecarlo(c: &mut Criterion) {
+    let d = datasets::berkstan_like(800, SEED);
+    let g = &d.graph;
+    let mut group = c.benchmark_group("parallel_montecarlo");
+    group.sample_size(10);
+    for t in thread_sweep() {
+        let threads = NonZeroUsize::new(t).expect("sweep threads >= 1");
+        group.bench_with_input(BenchmarkId::new("threads", t), &threads, |b, &threads| {
+            b.iter(|| Fingerprints::sample_with_threads(g, 10, 400, SEED, threads))
+        });
+    }
+    group.finish();
+}
+
+/// Plan-construction sweep (the `O(t²·d)` candidate-pair scan sharded by
+/// weighted column blocks).
+fn parallel_plan_build(c: &mut Criterion) {
+    let d = datasets::berkstan_like(800, SEED);
+    let g = &d.graph;
+    let mut group = c.benchmark_group("parallel_plan_build");
+    group.sample_size(10);
+    for t in thread_sweep() {
+        let opts = SimRankOptions::default().with_threads(t);
+        group.bench_with_input(BenchmarkId::new("threads", t), &opts, |b, opts| {
+            b.iter(|| SharingPlan::build(g, opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    parallel,
+    parallel_oip,
+    parallel_psum,
+    parallel_prank,
+    parallel_montecarlo,
+    parallel_plan_build
+);
 criterion_main!(parallel);

@@ -19,11 +19,13 @@
 //!
 //! The schedule decomposes into [`SharingPlan::segments`] — one contiguous
 //! range per root subtree, each starting from scratch and touching only its
-//! own buffers. The engine shards those segments across workers (balanced
-//! by step count), gives every worker a private buffer pool and outer
-//! array, and lets each worker emit its own sources' rows of `S_{k+1}`
-//! through a disjoint-row writer. Per-row arithmetic is untouched, so
-//! results are bit-for-bit identical for every thread count.
+//! own buffers. The engine shards those segments across a persistent
+//! [`par::WorkerPool`] (spawned once per `run`, balanced by step count),
+//! gives every worker a private buffer pool and outer array, and lets each
+//! worker emit its own sources' rows of `S_{k+1}` through a disjoint-row
+//! writer; each iteration is one barrier-synchronized sweep. Per-row
+//! arithmetic is untouched, so results are bit-for-bit identical for every
+//! thread count.
 
 use crate::grid::ScoreGrid;
 use crate::instrument::{MemoryModel, OpCounter, PhaseTimer, Report};
@@ -119,50 +121,55 @@ pub fn run(
         Mode::Differential => 1.0,
     };
 
-    for k in 0..iterations {
-        next.clear();
-        {
-            // SAFETY (RowWriter): every target is emitted exactly once per
-            // iteration and workers own disjoint segment sets, so each row
-            // of `next` is written by exactly one worker.
-            let writer = par::RowWriter::new(&mut next);
-            let items: Vec<_> = shares.iter().zip(states.iter_mut()).collect();
-            counter.add(par::run_sharded(items, |(share, state), counter| {
-                for &seg in share.iter() {
-                    replay_segment(
-                        g,
-                        plan,
-                        opts,
-                        mode,
-                        damping,
-                        &cur,
-                        &writer,
-                        &plan.segments[seg],
-                        state.pool.as_mut_slice(),
-                        &mut state.outer,
-                        &in_deg,
-                        counter,
-                    );
+    // One persistent pool for the whole run: the workers park between
+    // iterations instead of being re-spawned, and each iteration's replay
+    // is a single barrier-synchronized sweep.
+    par::WorkerPool::scoped(workers, |pool| {
+        for k in 0..iterations {
+            next.clear();
+            {
+                // SAFETY (RowWriter): every target is emitted exactly once
+                // per iteration and workers own disjoint segment sets, so
+                // each row of `next` is written by exactly one worker.
+                let writer = par::RowWriter::new(&mut next);
+                let items: Vec<_> = shares.iter().zip(states.iter_mut()).collect();
+                counter.add(pool.sweep(items, |(share, state), counter| {
+                    for &seg in share.iter() {
+                        replay_segment(
+                            g,
+                            plan,
+                            opts,
+                            mode,
+                            damping,
+                            &cur,
+                            &writer,
+                            &plan.segments[seg],
+                            state.pool.as_mut_slice(),
+                            &mut state.outer,
+                            &in_deg,
+                            counter,
+                        );
+                    }
+                }));
+            }
+            if mode == Mode::Conventional {
+                next.set_diagonal(1.0);
+            }
+            std::mem::swap(&mut cur, &mut next);
+            if let Some(s_hat) = s_hat.as_mut() {
+                // Ŝ_{k+1} = Ŝ_k + e^{-C}·C^{k+1}/(k+1)!·T_{k+1}.
+                coef_term *= opts.damping / (k as f64 + 1.0);
+                s_hat.add_assign_scaled(&cur, e_neg_c * coef_term);
+            }
+            if let Some(obs) = observer.as_mut() {
+                match (&s_hat, mode) {
+                    (Some(s), Mode::Differential) => obs(k + 1, s),
+                    (_, Mode::Conventional) => obs(k + 1, &cur),
+                    _ => unreachable!(),
                 }
-            }));
-        }
-        if mode == Mode::Conventional {
-            next.set_diagonal(1.0);
-        }
-        std::mem::swap(&mut cur, &mut next);
-        if let Some(s_hat) = s_hat.as_mut() {
-            // Ŝ_{k+1} = Ŝ_k + e^{-C}·C^{k+1}/(k+1)!·T_{k+1}.
-            coef_term *= opts.damping / (k as f64 + 1.0);
-            s_hat.add_assign_scaled(&cur, e_neg_c * coef_term);
-        }
-        if let Some(obs) = observer.as_mut() {
-            match (&s_hat, mode) {
-                (Some(s), Mode::Differential) => obs(k + 1, s),
-                (_, Mode::Conventional) => obs(k + 1, &cur),
-                _ => unreachable!(),
             }
         }
-    }
+    });
 
     let share_sums = timer.lap();
     let report = Report {

@@ -32,8 +32,14 @@ pub struct Report {
     pub peak_intermediate_bytes: usize,
     /// Largest number of simultaneously live partial-sum buffers.
     pub peak_live_buffers: usize,
-    /// Worker threads used by the block-sharded iteration executor
-    /// (`0` when the algorithm does not run through it).
+    /// Worker threads used by the persistent worker-pool executor
+    /// ([`crate::par::WorkerPool`]). Every pooled path reports its pool
+    /// width here: `naive`, `psum`, the OIP engine, both P-Rank direction
+    /// passes, and `Fingerprints::sample`. `0` means the algorithm did not
+    /// route through the executor (currently only `mtx`). The value never
+    /// affects any other `Report` field except the memory-model ones
+    /// (per-worker buffers scale with it): counts merge exactly across
+    /// shards — see [`OpCounter::merge`].
     pub workers: usize,
 }
 
@@ -55,6 +61,16 @@ impl Report {
 }
 
 /// Counts abstract similarity additions.
+///
+/// # Shard-merge semantics
+///
+/// Every parallel path hands each worker a **private** `OpCounter` shard
+/// (no sharing, no atomics on the hot path) and sums the shards after the
+/// sweep's barrier. Because `u64` addition is associative and commutative,
+/// and each operation is counted by exactly one worker, the merged total
+/// is *exactly* the count a single-threaded run produces — `Report::adds`
+/// is thread-invariant, and the `parallel_*` property tests assert the
+/// equality for every pooled algorithm.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct OpCounter(u64);
 
@@ -68,6 +84,14 @@ impl OpCounter {
     #[inline]
     pub fn add(&mut self, n: u64) {
         self.0 += n;
+    }
+
+    /// Folds another worker's shard into this counter (see the type-level
+    /// shard-merge semantics: the result equals the single-threaded count
+    /// regardless of how operations were split across shards).
+    #[inline]
+    pub fn merge(&mut self, other: &OpCounter) {
+        self.0 += other.0;
     }
 
     /// Current count.
@@ -144,6 +168,30 @@ mod tests {
         c.add(10);
         c.add(5);
         assert_eq!(c.total(), 15);
+    }
+
+    #[test]
+    fn counter_shards_merge_exactly() {
+        // Any split of the same operations across shards merges to the
+        // same total — the property the parallel executor relies on.
+        let ops = [3u64, 7, 11, 2, 9];
+        let mut single = OpCounter::new();
+        for &n in &ops {
+            single.add(n);
+        }
+        let mut shard_a = OpCounter::new();
+        let mut shard_b = OpCounter::new();
+        for (i, &n) in ops.iter().enumerate() {
+            if i % 2 == 0 {
+                shard_a.add(n);
+            } else {
+                shard_b.add(n);
+            }
+        }
+        let mut merged = OpCounter::new();
+        merged.merge(&shard_a);
+        merged.merge(&shard_b);
+        assert_eq!(merged.total(), single.total());
     }
 
     #[test]

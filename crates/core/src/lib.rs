@@ -41,12 +41,16 @@
 //!
 //! # Parallel execution
 //!
-//! Every iteration sweep (`naive`, `psum`, and the OIP [`engine`]) runs on
-//! the block-sharded executor in [`par`]: workers own disjoint row blocks
-//! of `S_{k+1}` (the OIP engine shards across independent sharing-tree
-//! segments) and per-worker instrumentation shards are merged exactly.
-//! Control the worker count with [`SimRankOptions::with_threads`]; scores
-//! are bit-for-bit identical for every thread count.
+//! Everything except `mtx` runs on the persistent worker-pool executor in
+//! [`par`]: each run spawns a [`par::WorkerPool`] once, parks the workers
+//! between barrier-synchronized sweeps, and shards `naive`/`psum` by row
+//! band, the OIP [`engine`] and both `prank` direction passes by
+//! sharing-tree segment, `montecarlo` fingerprint sampling by node band
+//! (with deterministic per-walk seeding), and `SharingPlan::build`'s
+//! candidate-pair scan by weighted column block. Per-worker
+//! instrumentation shards merge exactly. Control the worker count with
+//! [`SimRankOptions::with_threads`]; results are bit-for-bit identical
+//! for every thread count.
 
 pub mod convergence;
 pub mod dsr;

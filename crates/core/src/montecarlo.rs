@@ -7,14 +7,26 @@
 //! the scalable-but-probabilistic alternative; it is included here both as
 //! a related-work implementation and as a statistical cross-check of the
 //! deterministic algorithms.
+//!
+//! # Parallel sampling
+//!
+//! [`Fingerprints::sample`] is embarrassingly parallel once every walk owns
+//! an independent RNG stream: each walk is seeded by a SplitMix64 mix of
+//! `(user_seed, node, round)`, so its trajectory depends only on those
+//! three values — never on which worker runs it or in what order. Node
+//! bands shard across the persistent [`crate::par::WorkerPool`] and the
+//! resulting fingerprint table is **bit-identical at every thread count**
+//! (a property test and the CI determinism matrix enforce this). The
+//! walk-step counts each worker accumulates merge exactly, so
+//! [`Report::adds`] is thread-invariant too.
 
-// The coupled-walk tables are naturally indexed by (round, step, vertex).
-#![allow(clippy::needless_range_loop)]
-
+use crate::instrument::Report;
 use crate::options::SimRankOptions;
+use crate::par;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simrank_graph::{DiGraph, NodeId};
+use std::num::NonZeroUsize;
 
 /// Estimates `s(a, b)` from `samples` coupled backward walks of length at
 /// most `walk_len`.
@@ -53,52 +65,152 @@ pub fn mc_simrank_pair(
     acc / samples as f64
 }
 
-/// Precomputed walk *fingerprints*: `walks[r]` holds, for every vertex, its
-/// position after each of `walk_len` backward steps in the `r`-th sampled
-/// world (`usize::MAX`-free: stopped walks repeat their final resting
-/// vertex marker `NONE`).
-pub struct Fingerprints {
-    walk_len: u32,
-    /// `pos[r][t][v]` = vertex where `v`'s walk sits after step `t+1`, or
-    /// `NONE` if the walk has stopped.
-    pos: Vec<Vec<Vec<NodeId>>>,
+/// Sentinel recorded for a stopped walk (the walk hit an in-degree-0
+/// vertex and rests there for the remaining steps).
+pub const NONE: NodeId = NodeId::MAX;
+
+/// SplitMix64 finalizer: a cheap bijective avalanche mix.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
-/// Sentinel for a stopped walk.
-const NONE: NodeId = NodeId::MAX;
+/// Deterministic per-walk seed: a SplitMix64 chain over
+/// `(user_seed, node, round)`. Giving every walk its own stream is what
+/// lets the sampler shard node bands across workers with bit-identical
+/// fingerprints at any thread count.
+fn walk_seed(seed: u64, v: NodeId, round: u32) -> u64 {
+    splitmix64(splitmix64(seed ^ (v as u64).rotate_left(32)) ^ round as u64)
+}
+
+/// Precomputed walk *fingerprints*: for every vertex and sampled world
+/// (round), the full trajectory of its backward walk.
+///
+/// Walks are stored node-major — [`Fingerprints::walk`] is one contiguous
+/// slice — so sampling hands each worker a disjoint band of vertices and
+/// pair estimation reads two contiguous blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fingerprints {
+    walk_len: u32,
+    rounds: u32,
+    /// `walks[(v·rounds + r)·walk_len + t]` = vertex where `v`'s walk in
+    /// world `r` sits after step `t + 1`, or [`NONE`] once stopped.
+    walks: Vec<NodeId>,
+}
 
 impl Fingerprints {
-    /// Samples `rounds` coupled worlds of backward walks.
+    /// Samples `rounds` coupled worlds of backward walks with the process
+    /// default worker count ([`SimRankOptions::default`]'s `threads`).
     ///
-    /// Within one world every vertex takes *one shared* random step per
-    /// round — the Fogaras–Rácz coupling that makes single-source queries
-    /// `O(walk_len)` per candidate instead of `O(samples · walk_len)`.
+    /// Within one world every vertex walks once — the Fogaras–Rácz
+    /// fingerprint table that makes single-source queries `O(walk_len)`
+    /// per candidate instead of `O(samples · walk_len)`.
     pub fn sample(g: &DiGraph, walk_len: u32, rounds: u32, seed: u64) -> Fingerprints {
+        Self::sample_with_threads(g, walk_len, rounds, seed, SimRankOptions::default().threads)
+    }
+
+    /// As [`Fingerprints::sample`] with an explicit worker count. The
+    /// returned table is bit-identical for every `threads` value.
+    pub fn sample_with_threads(
+        g: &DiGraph,
+        walk_len: u32,
+        rounds: u32,
+        seed: u64,
+        threads: NonZeroUsize,
+    ) -> Fingerprints {
+        Self::sample_with_report(g, walk_len, rounds, seed, threads).0
+    }
+
+    /// As [`Fingerprints::sample_with_threads`], also returning
+    /// instrumentation: [`Report::adds`] counts random walk steps taken
+    /// (merged exactly across workers — thread-invariant),
+    /// [`Report::iterations`] the rounds, [`Report::workers`] the pool
+    /// width.
+    pub fn sample_with_report(
+        g: &DiGraph,
+        walk_len: u32,
+        rounds: u32,
+        seed: u64,
+        threads: NonZeroUsize,
+    ) -> (Fingerprints, Report) {
         let n = g.node_count();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut pos = Vec::with_capacity(rounds as usize);
-        for _ in 0..rounds {
-            let mut world = Vec::with_capacity(walk_len as usize);
-            let mut current: Vec<NodeId> = (0..n as NodeId).collect();
-            for t in 0..walk_len {
-                let mut next = vec![NONE; n];
-                for v in 0..n {
-                    let at = if t == 0 { v as NodeId } else { current[v] };
-                    if at == NONE {
-                        continue;
-                    }
-                    let ins = g.in_neighbors(at);
-                    if ins.is_empty() {
-                        continue;
-                    }
-                    next[v] = ins[rng.gen_range(0..ins.len())];
-                }
-                current = next.clone();
-                world.push(next);
+        let wl = walk_len as usize;
+        let stride = rounds as usize * wl;
+        let mut walks = vec![NONE; n * stride];
+        // 0 until a pool actually runs: degenerate inputs (no nodes, no
+        // rounds, or zero-length walks) never route through the executor.
+        let mut workers = 0;
+        let mut steps = 0u64;
+        if stride > 0 && n > 0 {
+            workers = par::effective_workers(threads, n);
+            // Disjoint contiguous bands of the node-major table, one per
+            // worker.
+            let node_blocks = par::blocks(n, workers);
+            let mut items: Vec<(std::ops::Range<usize>, &mut [NodeId])> =
+                Vec::with_capacity(node_blocks.len());
+            let mut rest: &mut [NodeId] = &mut walks;
+            for block in &node_blocks {
+                let (band, tail) = rest.split_at_mut(block.len() * stride);
+                items.push((block.clone(), band));
+                rest = tail;
             }
-            pos.push(world);
+            steps = par::WorkerPool::scoped(workers, |pool| {
+                pool.sweep(items, |(nodes, band), counter| {
+                    let base = nodes.start;
+                    for v in nodes {
+                        for r in 0..rounds {
+                            let off = ((v - base) * rounds as usize + r as usize) * wl;
+                            let out = &mut band[off..off + wl];
+                            let mut rng = StdRng::seed_from_u64(walk_seed(seed, v as NodeId, r));
+                            let mut at = v as NodeId;
+                            for slot in out.iter_mut() {
+                                let ins = g.in_neighbors(at);
+                                if ins.is_empty() {
+                                    break;
+                                }
+                                at = ins[rng.gen_range(0..ins.len())];
+                                *slot = at;
+                                counter.add(1);
+                            }
+                        }
+                    }
+                })
+            });
         }
-        Fingerprints { walk_len, pos }
+        let report = Report {
+            iterations: rounds,
+            adds: steps,
+            workers,
+            ..Default::default()
+        };
+        (
+            Fingerprints {
+                walk_len,
+                rounds,
+                walks,
+            },
+            report,
+        )
+    }
+
+    /// Walk length every trajectory was sampled to.
+    pub fn walk_len(&self) -> u32 {
+        self.walk_len
+    }
+
+    /// Number of sampled worlds.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// The recorded trajectory of `v`'s walk in world `r`: entry `t` is
+    /// the vertex after step `t + 1`, or [`NONE`] once the walk stopped.
+    pub fn walk(&self, v: NodeId, r: u32) -> &[NodeId] {
+        let wl = self.walk_len as usize;
+        let off = (v as usize * self.rounds as usize + r as usize) * wl;
+        &self.walks[off..off + wl]
     }
 
     /// Estimates `s(a, b)` from the precomputed worlds.
@@ -107,10 +219,10 @@ impl Fingerprints {
             return 1.0;
         }
         let mut acc = 0.0;
-        for world in &self.pos {
-            for t in 0..self.walk_len as usize {
-                let x = world[t][a as usize];
-                let y = world[t][b as usize];
+        for r in 0..self.rounds {
+            let wa = self.walk(a, r);
+            let wb = self.walk(b, r);
+            for (t, (&x, &y)) in wa.iter().zip(wb).enumerate() {
                 if x == NONE || y == NONE {
                     break;
                 }
@@ -120,7 +232,7 @@ impl Fingerprints {
                 }
             }
         }
-        acc / self.pos.len() as f64
+        acc / self.rounds as f64
     }
 
     /// Single-source estimates `s(a, ·)` for all vertices.
@@ -135,6 +247,10 @@ mod tests {
     use crate::naive::naive_simrank;
     use simrank_graph::fixtures::paper_fig1a;
     use simrank_graph::DiGraph;
+
+    fn nz(t: usize) -> NonZeroUsize {
+        NonZeroUsize::new(t).unwrap()
+    }
 
     #[test]
     fn deterministic_pair_on_shared_parent() {
@@ -201,5 +317,55 @@ mod tests {
         let a = mc_simrank_pair(&g, 1, 3, &opts, 10, 500, 11);
         let b = mc_simrank_pair(&g, 1, 3, &opts, 10, 500, 11);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn walks_stop_at_indegree_zero_and_stay_stopped() {
+        // 0 -> 1 -> ... every walk from 1 deterministically visits 0 then
+        // stops; vertex 0 has no in-edges so its walks never start.
+        let g = DiGraph::from_edges(3, [(0, 1)]).unwrap();
+        let fp = Fingerprints::sample(&g, 4, 3, 9);
+        for r in 0..3 {
+            assert_eq!(fp.walk(1, r), &[0, NONE, NONE, NONE]);
+            assert_eq!(fp.walk(0, r), &[NONE; 4]);
+        }
+    }
+
+    #[test]
+    fn parallel_sampling_is_bit_identical_and_counts_merge_exactly() {
+        // The per-walk seeding contract: the fingerprint table — and the
+        // merged walk-step count in `Report::adds` — are identical at
+        // every worker count, because each walk's RNG stream depends only
+        // on (seed, node, round) and each step counts exactly once no
+        // matter which worker shard takes it.
+        let g = paper_fig1a();
+        let (fp1, r1) = Fingerprints::sample_with_report(&g, 7, 40, 123, nz(1));
+        assert_eq!(r1.workers, 1);
+        for t in [2usize, 3, 4, 8] {
+            let (fpt, rt) = Fingerprints::sample_with_report(&g, 7, 40, 123, nz(t));
+            assert_eq!(fp1, fpt, "fingerprints diverged at threads = {t}");
+            assert_eq!(r1.adds, rt.adds, "merged step counts must be exact");
+            assert!(rt.workers >= 1 && rt.workers <= t);
+        }
+        assert!(r1.adds > 0, "fixture walks must actually step");
+    }
+
+    #[test]
+    fn degenerate_sampling_reports_no_workers() {
+        // No walks means no pool: `Report::workers = 0` is the documented
+        // "did not route through the executor" marker.
+        let g = paper_fig1a();
+        let (fp, r) = Fingerprints::sample_with_report(&g, 0, 5, 1, nz(4));
+        assert_eq!(r.workers, 0);
+        assert_eq!(r.adds, 0);
+        assert_eq!(fp.walk_len(), 0);
+    }
+
+    #[test]
+    fn changing_seed_changes_fingerprints() {
+        let g = paper_fig1a();
+        let a = Fingerprints::sample(&g, 8, 16, 1);
+        let b = Fingerprints::sample(&g, 8, 16, 2);
+        assert_ne!(a, b, "the user seed must reach every walk");
     }
 }

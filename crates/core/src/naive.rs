@@ -27,50 +27,53 @@ pub fn naive_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatr
     let mut cur = ScoreGrid::identity(n);
     let mut next = ScoreGrid::zeros(n);
     // Rows are independent given the previous grid: shard the source-vertex
-    // range into contiguous row blocks, one worker per block.
+    // range into contiguous row blocks, one worker per block. The pool is
+    // spawned once for the whole run; each iteration is one sweep.
     let workers = par::effective_workers(opts.threads, n);
     let row_blocks = par::blocks(n, workers);
-    for _ in 0..k_max {
-        next.clear();
-        let bands = next.row_bands_mut(&row_blocks);
-        let items: Vec<_> = row_blocks.iter().cloned().zip(bands).collect();
-        counter.add(par::run_sharded(items, |(rows, band), counter| {
-            let band_start = rows.start;
-            for a in rows {
-                let ins_a = g.in_neighbors(a as u32);
-                if ins_a.is_empty() {
-                    continue;
-                }
-                let row_out = &mut band[(a - band_start) * n..(a - band_start + 1) * n];
-                for b in 0..n {
-                    if b == a {
+    par::WorkerPool::scoped(workers, |pool| {
+        for _ in 0..k_max {
+            next.clear();
+            let bands = next.row_bands_mut(&row_blocks);
+            let items: Vec<_> = row_blocks.iter().cloned().zip(bands).collect();
+            counter.add(pool.sweep(items, |(rows, band), counter| {
+                let band_start = rows.start;
+                for a in rows {
+                    let ins_a = g.in_neighbors(a as u32);
+                    if ins_a.is_empty() {
                         continue;
                     }
-                    let ins_b = g.in_neighbors(b as u32);
-                    if ins_b.is_empty() {
-                        continue;
-                    }
-                    let mut sum = 0.0;
-                    for &i in ins_a {
-                        let row = cur.row(i as usize);
-                        for &j in ins_b {
-                            sum += row[j as usize];
+                    let row_out = &mut band[(a - band_start) * n..(a - band_start + 1) * n];
+                    for b in 0..n {
+                        if b == a {
+                            continue;
                         }
-                    }
-                    counter.add(((ins_a.len() * ins_b.len()) as u64).saturating_sub(1));
-                    let mut val = c / (ins_a.len() as f64 * ins_b.len() as f64) * sum;
-                    if let Some(delta) = opts.threshold {
-                        if val < delta {
-                            val = 0.0;
+                        let ins_b = g.in_neighbors(b as u32);
+                        if ins_b.is_empty() {
+                            continue;
                         }
+                        let mut sum = 0.0;
+                        for &i in ins_a {
+                            let row = cur.row(i as usize);
+                            for &j in ins_b {
+                                sum += row[j as usize];
+                            }
+                        }
+                        counter.add(((ins_a.len() * ins_b.len()) as u64).saturating_sub(1));
+                        let mut val = c / (ins_a.len() as f64 * ins_b.len() as f64) * sum;
+                        if let Some(delta) = opts.threshold {
+                            if val < delta {
+                                val = 0.0;
+                            }
+                        }
+                        row_out[b] = val;
                     }
-                    row_out[b] = val;
                 }
-            }
-        }));
-        next.set_diagonal(1.0);
-        std::mem::swap(&mut cur, &mut next);
-    }
+            }));
+            next.set_diagonal(1.0);
+            std::mem::swap(&mut cur, &mut next);
+        }
+    });
     let report = Report {
         iterations: k_max,
         adds: counter.total(),

@@ -5,7 +5,7 @@ use std::num::NonZeroUsize;
 
 /// Environment override consulted by [`SimRankOptions::default`]: set
 /// `SIMRANK_TEST_THREADS=<n>` to pin the default worker count (the CI
-/// determinism matrix runs the whole suite at 1 and 4).
+/// determinism matrix runs the whole suite at 1, 2, 4, and 8).
 pub const THREADS_ENV: &str = "SIMRANK_TEST_THREADS";
 
 /// Default worker count: the [`THREADS_ENV`] override when set and valid,
@@ -72,11 +72,15 @@ pub struct SimRankOptions {
     /// the minimum spanning arborescence (`ablation_dmst_algo`). Both yield
     /// equal-weight trees on `DMST-Reduce` cost graphs.
     pub use_edmonds: bool,
-    /// Worker threads for the block-sharded iteration executor ([`crate::par`]).
-    /// Defaults to the machine's available parallelism (overridable via the
-    /// `SIMRANK_TEST_THREADS` environment variable). Scores are **bit-for-bit
-    /// identical** for every value: workers own disjoint row blocks and the
-    /// per-row arithmetic never changes, only the interleaving.
+    /// Worker threads for the persistent worker-pool executor
+    /// ([`crate::par::WorkerPool`]): each algorithm run spawns the pool
+    /// once, parks the workers between barrier-synchronized sweeps, and
+    /// tears it down on exit — no per-iteration spawn cost. Defaults to
+    /// the machine's available parallelism (overridable via the
+    /// [`THREADS_ENV`] environment variable). Results are **bit-for-bit
+    /// identical** for every value: workers own disjoint rows (or walks,
+    /// or plan columns) and the per-item arithmetic never changes, only
+    /// the interleaving.
     pub threads: NonZeroUsize,
 }
 

@@ -27,6 +27,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::options::{CostModel, SimRankOptions};
+use crate::par;
 use crate::setops;
 use simrank_graph::{DiGraph, NodeId};
 use simrank_mst::{dag_arborescence, edmonds, Arborescence, Edge};
@@ -131,7 +132,7 @@ impl SharingPlan {
         let arb = if opts.use_edmonds {
             Self::solve_edmonds(g, &targets, opts.cost_model)
         } else {
-            Self::solve_greedy(g, &targets, opts.cost_model)
+            Self::solve_greedy(g, &targets, opts)
         };
 
         // --- Per-target ops from the chosen tree edges. ---
@@ -193,8 +194,18 @@ impl SharingPlan {
 
     /// Streaming greedy `DMST-Reduce`: exact on the DAG-shaped cost graph,
     /// O(t² · d) time, O(t) memory (no edge list materialized).
-    fn solve_greedy(g: &DiGraph, targets: &[NodeId], model: CostModel) -> Arborescence {
+    ///
+    /// The candidate-pair scan — by far the dominant cost of plan
+    /// construction — shards across workers *by column*: column `j`'s best
+    /// incoming edge depends only on the read-only in-neighbor sets of
+    /// `targets[..j]`, so each worker owns a disjoint slice of the
+    /// best-edge arrays and the chosen tree is identical at every thread
+    /// count (each column replays the exact sequential scan). Columns are
+    /// carved into contiguous ranges of near-equal *triangular* weight
+    /// (column `j` scans `j` predecessors).
+    fn solve_greedy(g: &DiGraph, targets: &[NodeId], opts: &SimRankOptions) -> Arborescence {
         let t = targets.len();
+        let model = opts.cost_model;
         // best incoming (weight, parent) per tree node; root edges first so
         // ties resolve toward ∅ exactly like the paper's Fig. 2d.
         let mut best_w: Vec<u64> = Vec::with_capacity(t);
@@ -202,24 +213,43 @@ impl SharingPlan {
         for &v in targets {
             best_w.push((g.in_degree(v) as u64).saturating_sub(1));
         }
-        if model != CostModel::ScratchOnly {
-            for i in 0..t {
-                let ins_i = g.in_neighbors(targets[i]);
-                for j in (i + 1)..t {
+        if model != CostModel::ScratchOnly && t > 1 {
+            let col_weights: Vec<usize> = (0..t).collect();
+            let workers = par::effective_workers(opts.threads, t);
+            let col_blocks = par::weighted_blocks(&col_weights, workers);
+            let mut items: Vec<(std::ops::Range<usize>, &mut [u64], &mut [usize])> =
+                Vec::with_capacity(col_blocks.len());
+            let mut w_rest = best_w.as_mut_slice();
+            let mut p_rest = best_p.as_mut_slice();
+            for block in &col_blocks {
+                let (w_band, w_tail) = w_rest.split_at_mut(block.len());
+                let (p_band, p_tail) = p_rest.split_at_mut(block.len());
+                items.push((block.clone(), w_band, p_band));
+                w_rest = w_tail;
+                p_rest = p_tail;
+            }
+            par::run_sharded(items, |(cols, w_band, p_band), _counter| {
+                let base = cols.start;
+                for j in cols {
                     let ins_j = g.in_neighbors(targets[j]);
-                    let w = match model {
-                        CostModel::Min => setops::transition_cost(ins_i, ins_j),
-                        CostModel::SymDiffOnly => {
-                            setops::symmetric_difference_size(ins_i, ins_j) as u64
+                    // Ascending `i` with strict `<` keeps the sequential
+                    // tie-break: the earliest minimal predecessor wins.
+                    for i in 0..j {
+                        let ins_i = g.in_neighbors(targets[i]);
+                        let w = match model {
+                            CostModel::Min => setops::transition_cost(ins_i, ins_j),
+                            CostModel::SymDiffOnly => {
+                                setops::symmetric_difference_size(ins_i, ins_j) as u64
+                            }
+                            CostModel::ScratchOnly => unreachable!(),
+                        };
+                        if w < w_band[j - base] {
+                            w_band[j - base] = w;
+                            p_band[j - base] = i + 1;
                         }
-                        CostModel::ScratchOnly => unreachable!(),
-                    };
-                    if w < best_w[j] {
-                        best_w[j] = w;
-                        best_p[j] = i + 1;
                     }
                 }
-            }
+            });
         }
         let mut parents = vec![None; t + 1];
         let mut weights = vec![0u64; t + 1];
@@ -586,6 +616,33 @@ mod tests {
         let greedy = SharingPlan::build(&g, &SimRankOptions::default());
         let ed = SharingPlan::build(&g, &SimRankOptions::default().with_edmonds(true));
         assert_eq!(greedy.tree_weight, ed.tree_weight);
+    }
+
+    #[test]
+    fn parallel_build_is_thread_invariant() {
+        // The sharded candidate-pair scan replays the sequential per-column
+        // decision exactly: every component of the plan must be identical
+        // at every thread count, for every cost model.
+        let g = simrank_graph::gen::gnm(70, 300, 9);
+        for model in [
+            CostModel::Min,
+            CostModel::SymDiffOnly,
+            CostModel::ScratchOnly,
+        ] {
+            let base = SimRankOptions::default().with_cost_model(model);
+            let p1 = SharingPlan::build(&g, &base.with_threads(1));
+            for t in [2usize, 3, 5, 8] {
+                let pt = SharingPlan::build(&g, &base.with_threads(t));
+                assert_eq!(p1.targets, pt.targets, "{model:?} threads={t}");
+                assert_eq!(p1.arb, pt.arb, "{model:?} threads={t}");
+                assert_eq!(p1.ops, pt.ops, "{model:?} threads={t}");
+                assert_eq!(p1.preorder, pt.preorder);
+                assert_eq!(p1.schedule, pt.schedule);
+                assert_eq!(p1.segments, pt.segments);
+                assert_eq!(p1.slots, pt.slots);
+                assert_eq!(p1.tree_weight, pt.tree_weight);
+            }
+        }
     }
 
     #[test]

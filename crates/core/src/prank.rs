@@ -14,11 +14,23 @@
 //! on `G`, one over out-neighbor sets (i.e. in-neighbor sets of the
 //! reversed graph) — each with its own OIP sharing plan. `λ = 1` recovers
 //! SimRank exactly.
+//!
+//! # Parallel replay
+//!
+//! Each direction is one barrier-synchronized sweep over the persistent
+//! [`par::WorkerPool`]: the plan's root-subtree segments shard across
+//! workers (each with a private buffer pool and outer array), and because
+//! every source row is emitted exactly once per pass, the in-pass writes —
+//! and the out-pass accumulations on top of them — stay disjoint across
+//! workers. The sweep's return is the barrier that orders the two
+//! directions, so the per-entry addition order `in then out` never
+//! changes and scores are bit-for-bit identical at every thread count.
 
 use crate::grid::ScoreGrid;
 use crate::instrument::{OpCounter, PhaseTimer, Report};
 use crate::matrix::SimMatrix;
 use crate::options::SimRankOptions;
+use crate::par;
 use crate::plan::{EdgeOp, SharingPlan, Step};
 use simrank_graph::DiGraph;
 
@@ -38,6 +50,13 @@ impl Default for PRankOptions {
             lambda: 0.5,
         }
     }
+}
+
+/// Per-worker replay state for one direction pass: a private partial-sum
+/// buffer pool plus the outer scalar per tree node.
+struct HalfState {
+    pool: Vec<Vec<f64>>,
+    outer: Vec<f64>,
 }
 
 /// All-pairs P-Rank with OIP partial-sums sharing on both link directions.
@@ -65,37 +84,53 @@ pub fn prank_with_report(g: &DiGraph, opts: &PRankOptions) -> (SimMatrix, Report
     let mut counter = OpCounter::new();
     let mut cur = ScoreGrid::identity(n);
     let mut next = ScoreGrid::zeros(n);
-    let slots = in_plan.slots.max(out_plan.slots);
-    let mut pool: Vec<Vec<f64>> = (0..slots).map(|_| vec![0.0f64; n]).collect();
-    let mut outer = vec![0.0f64; n + 1];
 
-    for _ in 0..k_max {
-        next.clear();
-        // In-link half: accumulate λ·C/(..)·Σ into next.
-        half_pass(
-            g,
-            &in_plan,
-            &cur,
-            &mut next,
-            &mut pool,
-            &mut outer,
-            opts.lambda * c,
-            &mut counter,
-        );
-        // Out-link half accumulates on top.
-        half_pass(
-            &reversed,
-            &out_plan,
-            &cur,
-            &mut next,
-            &mut pool,
-            &mut outer,
-            (1.0 - opts.lambda) * c,
-            &mut counter,
-        );
-        next.set_diagonal(1.0);
-        std::mem::swap(&mut cur, &mut next);
-    }
+    // One pool serves both directions; each direction balances its own
+    // segments across the same worker count.
+    let max_segments = in_plan.segments.len().max(out_plan.segments.len());
+    let workers = par::effective_workers(opts.base.threads, max_segments);
+    let seg_weights = |p: &SharingPlan| p.segments.iter().map(|s| s.len()).collect::<Vec<_>>();
+    let in_shares = par::balance(&seg_weights(&in_plan), workers);
+    let out_shares = par::balance(&seg_weights(&out_plan), workers);
+
+    let slots = in_plan.slots.max(out_plan.slots);
+    let mut states: Vec<HalfState> = (0..workers)
+        .map(|_| HalfState {
+            pool: (0..slots).map(|_| vec![0.0f64; n]).collect(),
+            outer: vec![0.0f64; n + 1],
+        })
+        .collect();
+
+    par::WorkerPool::scoped(workers, |pool| {
+        for _ in 0..k_max {
+            next.clear();
+            // In-link half: accumulate λ·C/(..)·Σ into next.
+            counter.add(half_pass(
+                g,
+                &in_plan,
+                &cur,
+                &mut next,
+                &in_shares,
+                &mut states,
+                opts.lambda * c,
+                pool,
+            ));
+            // Out-link half accumulates on top (the sweep barrier above
+            // ordered the in-link writes first).
+            counter.add(half_pass(
+                &reversed,
+                &out_plan,
+                &cur,
+                &mut next,
+                &out_shares,
+                &mut states,
+                (1.0 - opts.lambda) * c,
+                pool,
+            ));
+            next.set_diagonal(1.0);
+            std::mem::swap(&mut cur, &mut next);
+        }
+    });
 
     let report = Report {
         iterations: k_max,
@@ -104,32 +139,68 @@ pub fn prank_with_report(g: &DiGraph, opts: &PRankOptions) -> (SimMatrix, Report
         share_sums: timer.lap(),
         tree_weight: in_plan.tree_weight + out_plan.tree_weight,
         d_eff: 0.5 * (in_plan.d_eff() + out_plan.d_eff()),
-        peak_intermediate_bytes: (slots * n + n + 1) * 8,
-        peak_live_buffers: slots,
-        // P-Rank still replays both direction plans on one thread (see
-        // ROADMAP "Open items"); 0 = not routed through the executor.
-        workers: 0,
+        peak_intermediate_bytes: workers * (slots * n + n + 1) * 8,
+        peak_live_buffers: workers * slots,
+        workers,
     };
     (cur.to_sim_matrix(), report)
 }
 
-/// One direction's OIP pass, *adding* `factor/(d_u·d_w)·outer` into `next`.
+/// One direction's OIP pass, *adding* `factor/(d_u·d_w)·outer` into `next`,
+/// sharded across the pool and returning the merged operation count.
 #[allow(clippy::too_many_arguments)]
 fn half_pass(
     g: &DiGraph,
     plan: &SharingPlan,
     cur: &ScoreGrid,
     next: &mut ScoreGrid,
+    shares: &[Vec<usize>],
+    states: &mut [HalfState],
+    factor: f64,
+    pool: &mut par::WorkerPool<'_>,
+) -> u64 {
+    if factor == 0.0 || plan.schedule.is_empty() {
+        return 0; // degenerate λ or planless graph: skip the whole direction
+    }
+    // SAFETY (RowWriter): within one pass every source is emitted exactly
+    // once and workers own disjoint segment sets, so each row of `next`
+    // is touched by exactly one worker.
+    let writer = par::RowWriter::new(next);
+    let items: Vec<_> = shares.iter().zip(states.iter_mut()).collect();
+    pool.sweep(items, |(share, state), counter| {
+        for &seg in share.iter() {
+            replay_half_segment(
+                g,
+                plan,
+                cur,
+                &writer,
+                &plan.segments[seg],
+                state.pool.as_mut_slice(),
+                &mut state.outer,
+                factor,
+                counter,
+            );
+        }
+    })
+}
+
+/// Replays one self-contained schedule segment (a root subtree) of a
+/// direction pass against a private buffer pool, accumulating emitted
+/// rows through the shared disjoint-row writer.
+#[allow(clippy::too_many_arguments)]
+fn replay_half_segment(
+    g: &DiGraph,
+    plan: &SharingPlan,
+    cur: &ScoreGrid,
+    writer: &par::RowWriter<'_>,
+    segment: &std::ops::Range<usize>,
     pool: &mut [Vec<f64>],
     outer: &mut [f64],
     factor: f64,
     counter: &mut OpCounter,
 ) {
-    if factor == 0.0 {
-        return; // degenerate λ: skip the whole direction
-    }
     let n = cur.order();
-    for step in &plan.schedule {
+    for step in &plan.schedule[segment.clone()] {
         match *step {
             Step::Scratch { t, slot } => {
                 let buf = &mut pool[slot as usize];
@@ -169,6 +240,10 @@ fn half_pass(
                 let u = plan.targets[t as usize] as usize;
                 let du = g.in_degree(u as u32) as f64;
                 let partial = &pool[slot as usize];
+                // SAFETY: each source is emitted exactly once per pass and
+                // this worker owns the segment, so row `u` is this
+                // thread's alone for the whole pass.
+                let row = unsafe { writer.row_mut(u) };
                 for &node in &plan.preorder {
                     let wt = node as usize - 1;
                     let val = match &plan.ops[wt] {
@@ -194,8 +269,7 @@ fn half_pass(
                     let w = plan.targets[wt] as usize;
                     if w != u {
                         let dw = g.in_degree(w as u32) as f64;
-                        let prev = next.get(u, w);
-                        next.set(u, w, prev + factor / (du * dw) * val);
+                        row[w] += factor / (du * dw) * val;
                     }
                 }
             }
@@ -304,6 +378,30 @@ mod tests {
         );
         for (a, b, v) in pr.iter_upper() {
             assert!((0.0..=1.0 + 1e-12).contains(&v), "p({a},{b}) = {v}");
+        }
+    }
+
+    #[test]
+    fn parallel_replay_is_bit_identical_and_counts_merge_exactly() {
+        // Both direction passes shard across the pool with disjoint row
+        // ownership: every thread count must reproduce threads = 1
+        // bit-for-bit, and the per-worker counter shards must merge to
+        // exactly the single-threaded operation count.
+        let g = gen::gnm(40, 170, 23);
+        for lambda in [0.0, 0.35, 1.0] {
+            let base = SimRankOptions::default().with_iterations(5).with_threads(1);
+            let (s1, r1) = prank_with_report(&g, &PRankOptions { base, lambda });
+            assert_eq!(r1.workers, 1);
+            for t in [2usize, 3, 5, 8] {
+                let opts = PRankOptions {
+                    base: base.with_threads(t),
+                    lambda,
+                };
+                let (st, rt) = prank_with_report(&g, &opts);
+                assert_eq!(s1.max_abs_diff(&st), 0.0, "λ={lambda} threads={t}");
+                assert_eq!(r1.adds, rt.adds, "op counts must merge exactly");
+                assert!(rt.workers >= 1 && rt.workers <= t);
+            }
         }
     }
 

@@ -56,18 +56,19 @@ pub fn psum_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatri
     // for the whole run.
     let mut partials: Vec<Vec<f64>> = (0..target_blocks.len()).map(|_| vec![0.0f64; n]).collect();
 
-    for _ in 0..k_max {
-        next.clear();
-        let bands = next.row_bands_mut(&row_bands);
-        let items: Vec<_> = target_blocks
-            .iter()
-            .cloned()
-            .zip(bands)
-            .zip(partials.iter_mut())
-            .collect();
-        counter.add(par::run_sharded(
-            items,
-            |((block, band), partial), counter| {
+    // The pool is spawned once for the whole run; each iteration is one
+    // barrier-synchronized sweep over the target blocks.
+    par::WorkerPool::scoped(workers, |pool| {
+        for _ in 0..k_max {
+            next.clear();
+            let bands = next.row_bands_mut(&row_bands);
+            let items: Vec<_> = target_blocks
+                .iter()
+                .cloned()
+                .zip(bands)
+                .zip(partials.iter_mut())
+                .collect();
+            counter.add(pool.sweep(items, |((block, band), partial), counter| {
                 let band_start = targets[block.start] as usize;
                 for &a in &targets[block] {
                     let ins_a = g.in_neighbors(a);
@@ -105,11 +106,11 @@ pub fn psum_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatri
                         row[b as usize] = val;
                     }
                 }
-            },
-        ));
-        next.set_diagonal(1.0);
-        std::mem::swap(&mut cur, &mut next);
-    }
+            }));
+            next.set_diagonal(1.0);
+            std::mem::swap(&mut cur, &mut next);
+        }
+    });
 
     let report = Report {
         iterations: k_max,

@@ -3,10 +3,12 @@
 
 use proptest::prelude::*;
 use simrank_core::{
-    convergence, dsr::oip_dsr_simrank, matrixform, naive::naive_simrank, oip::oip_simrank,
-    psum::psum_simrank, setops, CostModel, SimRankOptions,
+    convergence, dsr::oip_dsr_simrank, matrixform, montecarlo::Fingerprints, naive::naive_simrank,
+    oip::oip_simrank, prank::prank_with_report, prank::PRankOptions, psum::psum_simrank, setops,
+    CostModel, SharingPlan, SimRankOptions,
 };
 use simrank_graph::{DiGraph, NodeId};
+use std::num::NonZeroUsize;
 
 fn arb_graph() -> impl Strategy<Value = DiGraph> {
     (4usize..24).prop_flat_map(|n| {
@@ -187,6 +189,75 @@ proptest! {
             let diff = a.max_abs_diff(b);
             prop_assert!(diff <= 1e-12, "{name}: threads={t} diverged by {diff}");
         }
+    }
+
+    /// Determinism contract for P-Rank: both direction passes shard their
+    /// sharing-plan segments across the persistent pool, so scores are
+    /// bit-for-bit identical and the per-worker counter shards merge to
+    /// exactly the single-threaded operation count.
+    #[test]
+    fn parallel_prank_matches_single_thread(
+        g in arb_graph(),
+        k in 1u32..5,
+        lambda in 0.0f64..1.0,
+        t in 2usize..9,
+    ) {
+        let base = SimRankOptions::default().with_iterations(k);
+        let (s1, r1) = prank_with_report(&g, &PRankOptions { base: base.with_threads(1), lambda });
+        let (st, rt) = prank_with_report(&g, &PRankOptions { base: base.with_threads(t), lambda });
+        prop_assert_eq!(s1.max_abs_diff(&st), 0.0, "threads={} diverged", t);
+        prop_assert_eq!(r1.adds, rt.adds, "merged op counts must equal single-thread counts");
+    }
+
+    /// Determinism contract for Monte-Carlo sampling: per-walk seeding
+    /// (SplitMix64 of `(seed, node, round)`) makes the fingerprint table —
+    /// and the merged walk-step count — bit-identical at every thread
+    /// count, and the user seed must actually reach the walks: whenever
+    /// the graph offers enough random choice points, changing the seed
+    /// changes the table.
+    #[test]
+    fn parallel_fingerprints_thread_invariant_and_seeded(
+        g in arb_graph(),
+        seed in 0u64..1_000_000,
+    ) {
+        let nz = |t: usize| NonZeroUsize::new(t).unwrap();
+        let (fp1, r1) = Fingerprints::sample_with_report(&g, 6, 16, seed, nz(1));
+        for t in [2usize, 4, 8] {
+            let (fpt, rt) = Fingerprints::sample_with_report(&g, 6, 16, seed, nz(t));
+            prop_assert!(fp1 == fpt, "fingerprints diverged at threads={t}");
+            prop_assert_eq!(r1.adds, rt.adds, "merged step counts must be exact");
+        }
+        // Seed sensitivity: every walk starting at a vertex with >= 2
+        // in-neighbors makes a real random choice on its very first step,
+        // so with >= 3 such vertices and 16 rounds there are >= 48
+        // independent draws — two seeds agreeing on all of them is
+        // impossible in practice (and the vendored proptest RNG is
+        // deterministic, so this cannot flake).
+        let branchy = (0..g.node_count())
+            .filter(|&v| g.in_neighbors(v as NodeId).len() >= 2)
+            .count();
+        if branchy >= 3 {
+            let other = Fingerprints::sample_with_threads(&g, 6, 16, seed.wrapping_add(1), nz(4));
+            prop_assert!(fp1 != other, "changing the seed left every fingerprint unchanged");
+        }
+    }
+
+    /// Determinism contract for plan construction: the sharded candidate-
+    /// pair scan replays the sequential per-column best-edge decision
+    /// exactly, so every component of the plan is thread-invariant.
+    #[test]
+    fn parallel_plan_build_thread_invariant(g in arb_graph(), t in 2usize..9) {
+        let base = SimRankOptions::default();
+        let p1 = SharingPlan::build(&g, &base.with_threads(1));
+        let pt = SharingPlan::build(&g, &base.with_threads(t));
+        prop_assert_eq!(&p1.targets, &pt.targets);
+        prop_assert_eq!(&p1.arb, &pt.arb);
+        prop_assert_eq!(&p1.ops, &pt.ops);
+        prop_assert_eq!(&p1.preorder, &pt.preorder);
+        prop_assert_eq!(&p1.schedule, &pt.schedule);
+        prop_assert_eq!(&p1.segments, &pt.segments);
+        prop_assert_eq!(p1.slots, pt.slots);
+        prop_assert_eq!(p1.tree_weight, pt.tree_weight);
     }
 
     /// Lambert-W satisfies its defining identity on a wide domain.

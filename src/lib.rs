@@ -27,12 +27,17 @@
 //!
 //! # Parallel execution
 //!
-//! The iterative sweeps (`naive`, `psum`, and the OIP engine behind
-//! `oip`/`oip_dsr`) run on `simrank_core`'s block-sharded executor:
-//! workers own disjoint row blocks of each iteration's output and merge
-//! their instrumentation shards exactly. `SimRankOptions::with_threads`
-//! sets the worker count (default: all cores); scores are bit-for-bit
-//! identical for every value, so parallelism is purely a throughput knob:
+//! Every algorithm except `mtx` runs on `simrank_core`'s persistent
+//! worker-pool executor (`simrank_core::par::WorkerPool`): the pool is
+//! spawned once per run, workers park between barrier-synchronized
+//! sweeps, and each path shards its natural unit — row bands
+//! (`naive`/`psum`), sharing-tree segments (`oip`/`oip_dsr` and both
+//! `prank` direction passes), per-walk-seeded node bands
+//! (`Fingerprints::sample`), or plan-scan column blocks
+//! (`SharingPlan::build`) — merging instrumentation shards exactly.
+//! `SimRankOptions::with_threads` sets the worker count (default: all
+//! cores); results are bit-for-bit identical for every value, so
+//! parallelism is purely a throughput knob:
 //!
 //! ```
 //! use simrank::prelude::*;

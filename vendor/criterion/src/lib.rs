@@ -9,8 +9,18 @@
 //! statistical analysis, warm-up, or HTML report; the point is that
 //! `cargo bench` compiles, runs, and produces comparable-enough numbers
 //! until a real statistics engine lands.
+//!
+//! Two CI affordances:
+//!
+//! * `cargo bench -- --quick` runs each benchmark body **once** instead of
+//!   a few times — the smoke-test mode the `bench-smoke` CI job uses;
+//! * when the `BENCH_JSON_DIR` environment variable names a directory,
+//!   every harness writes its measurements to `BENCH_<harness>.json`
+//!   there (an array of `{"id", "best_ns"}` records), so CI can upload
+//!   the perf trajectory as a workflow artifact.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Re-export of [`std::hint::black_box`], criterion's optimizer barrier.
@@ -18,8 +28,21 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
-/// How many times each benchmark body is invoked per measurement.
-const RUNS: u32 = 3;
+/// How many times each benchmark body is invoked per measurement: a small
+/// fixed count, or exactly once under `--quick` (the CI smoke mode).
+fn runs() -> u32 {
+    static RUNS: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *RUNS.get_or_init(|| {
+        if std::env::args().any(|a| a == "--quick") {
+            1
+        } else {
+            3
+        }
+    })
+}
+
+/// Measurements recorded by this harness run, in execution order.
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
 
 /// Top-level benchmark driver.
 #[derive(Default)]
@@ -108,7 +131,7 @@ pub struct Bencher {
 impl Bencher {
     /// Times `f`, keeping the best of a few runs.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        for _ in 0..RUNS {
+        for _ in 0..runs() {
             let start = Instant::now();
             black_box(f());
             let ns = start.elapsed().as_nanos();
@@ -123,8 +146,73 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
     let mut b = Bencher { best_ns: None };
     f(&mut b);
     match b.best_ns {
-        Some(ns) => println!("bench {label:<50} {ns:>14} ns/iter"),
+        Some(ns) => {
+            println!("bench {label:<50} {ns:>14} ns/iter");
+            RESULTS
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((label.to_string(), ns));
+        }
         None => println!("bench {label:<50} (no measurement)"),
+    }
+}
+
+/// Minimal JSON string escaping for benchmark ids.
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The harness name: the bench binary's file stem with cargo's trailing
+/// `-<16-hex>` disambiguation hash stripped.
+fn harness_name() -> String {
+    let arg0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&arg0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if !name.is_empty()
+                && hash.len() == 16
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Writes this harness run's measurements to
+/// `$BENCH_JSON_DIR/BENCH_<harness>.json` (no-op when the variable is
+/// unset; a write failure warns instead of failing the bench run).
+/// Called automatically by [`criterion_main!`] after all groups finish.
+pub fn write_json_report() {
+    let Some(dir) = std::env::var_os("BENCH_JSON_DIR") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut json = String::from("[\n");
+    for (i, (id, ns)) in results.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str(&format!(
+            "  {{\"id\": \"{}\", \"best_ns\": {}}}",
+            escape_json(id),
+            ns
+        ));
+    }
+    json.push_str("\n]\n");
+    let dir = std::path::PathBuf::from(dir);
+    let path = dir.join(format!("BENCH_{}.json", harness_name()));
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
+        eprintln!(
+            "warning: could not write bench report {}: {e}",
+            path.display()
+        );
+    } else {
+        println!("bench report written to {}", path.display());
     }
 }
 
@@ -151,6 +239,28 @@ macro_rules! criterion_main {
                 return;
             }
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{escape_json, harness_name};
+
+    #[test]
+    fn json_escaping_covers_quotes_and_backslashes() {
+        assert_eq!(escape_json("plain/id"), "plain/id");
+        assert_eq!(escape_json(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+
+    #[test]
+    fn harness_name_is_derived_from_argv0() {
+        // In-test argv0 is the test binary (`criterion-<hash>`), so the
+        // function must at minimum return a non-empty stem with any
+        // 16-hex cargo hash stripped.
+        let name = harness_name();
+        assert!(!name.is_empty());
+        assert!(!name.ends_with(|c: char| c.is_ascii_hexdigit()) || !name.contains('-'));
+    }
 }
