@@ -13,7 +13,12 @@
 //! * **outer pass** (procedure `OP`) — for each finished source buffer, walk
 //!   the same tree in preorder maintaining scalar
 //!   `OuterPartial^{I(u)}_{I(w)}` values via Proposition 4 updates, emitting
-//!   `s_{k+1}(u, w)`.
+//!   `s_{k+1}(u, w)` — **only for the triangular pair set** `w ≥ u`
+//!   (SimRank is symmetric, so the strictly-lower pairs are redundant
+//!   arithmetic): the walk prunes whole subtrees via [`SharingPlan::prune`]
+//!   whenever their largest target id falls below the source's threshold,
+//!   and a bandwidth-only mirror pass (`par::mirror_upper_to_lower`)
+//!   restores the full square before the next iteration reads rows.
 
 //! # Parallel replay
 //!
@@ -155,6 +160,10 @@ pub fn run(
             if mode == Mode::Conventional {
                 next.set_diagonal(1.0);
             }
+            // The sweep above wrote only pairs `w ≥ u` (strictly upper plus,
+            // in differential mode, the diagonal): mirror the upper triangle
+            // down so the next iteration's partial sums read full rows.
+            par::mirror_upper_to_lower(pool, &mut next);
             std::mem::swap(&mut cur, &mut next);
             if let Some(s_hat) = s_hat.as_mut() {
                 // Ŝ_{k+1} = Ŝ_k + e^{-C}·C^{k+1}/(k+1)!·T_{k+1}.
@@ -297,10 +306,29 @@ fn emit_source(
 ) {
     let u = plan.targets[t] as usize;
     let du = in_deg[t];
+    // Triangular pair set: symmetry makes the strictly-lower pairs
+    // redundant, so only targets `w ≥ lo` are written (the mirror pass
+    // recovers the lower triangle). Conventional mode excludes the
+    // diagonal (pinned to 1 afterwards); differential mode must compute it.
+    let lo = match mode {
+        Mode::Conventional => u + 1,
+        Mode::Differential => u,
+    };
     if opts.outer_sharing {
-        // Preorder walk sharing OuterPartial scalars (Proposition 4).
-        for &node in &plan.preorder {
-            let wt = node as usize - 1;
+        // Preorder walk sharing OuterPartial scalars (Proposition 4),
+        // pruned to the subtrees that still contain a needed target: a
+        // computed node's parent is always computed too (ancestors of a
+        // needed node are needed), so the surviving scalars are
+        // bit-identical to the full walk's.
+        let pre = &plan.preorder;
+        let mut i = 0;
+        while i < pre.len() {
+            let node = pre[i] as usize;
+            if (plan.prune.subtree_max[node] as usize) < lo {
+                i = plan.prune.subtree_end[i];
+                continue;
+            }
+            let wt = node - 1;
             let val = match &plan.ops[wt] {
                 EdgeOp::Scratch => {
                     let ins = g.in_neighbors(plan.targets[wt]);
@@ -312,10 +340,7 @@ fn emit_source(
                     s
                 }
                 EdgeOp::Update { sub, add } => {
-                    let parent = plan
-                        .arb
-                        .parent(node as usize)
-                        .expect("non-root node has a parent");
+                    let parent = plan.arb.parent(node).expect("non-root node has a parent");
                     let mut s = outer[parent];
                     for &y in sub.iter() {
                         s -= partial[y as usize];
@@ -327,24 +352,19 @@ fn emit_source(
                     s
                 }
             };
-            outer[node as usize] = val;
-            write_score(
-                row,
-                opts,
-                mode,
-                damping,
-                u,
-                plan.targets[wt] as usize,
-                du,
-                in_deg[wt],
-                val,
-            );
+            outer[node] = val;
+            let w = plan.targets[wt] as usize;
+            if w >= lo {
+                write_score(row, opts, damping, w, du, in_deg[wt], val);
+            }
+            i += 1;
         }
     } else {
-        // Ablation: outer sums accumulated one-by-one, as in psum-SR Eq. (5).
+        // Ablation: outer sums accumulated one-by-one, as in psum-SR
+        // Eq. (5) — restricted to the same halved pair set.
         for (wt, &w) in plan.targets.iter().enumerate() {
-            if mode == Mode::Conventional && w as usize == u {
-                continue; // psum-SR skips the diagonal before summing
+            if (w as usize) < lo {
+                continue;
             }
             let ins = g.in_neighbors(w);
             let mut s = 0.0;
@@ -352,28 +372,24 @@ fn emit_source(
                 s += partial[y as usize];
             }
             counter.add((ins.len() as u64).saturating_sub(1));
-            write_score(row, opts, mode, damping, u, w as usize, du, in_deg[wt], s);
+            write_score(row, opts, damping, w as usize, du, in_deg[wt], s);
         }
     }
 }
 
-/// Final per-pair write with mode-specific diagonal and threshold handling.
-#[allow(clippy::too_many_arguments)]
+/// Final per-pair write with threshold sieving. Callers restrict `w` to
+/// the triangular pair set (`w > u` conventional, `w ≥ u` differential),
+/// so no diagonal guard is needed here.
 #[inline]
 fn write_score(
     row: &mut [f64],
     opts: &SimRankOptions,
-    mode: Mode,
     damping: f64,
-    u: usize,
     w: usize,
     du: f64,
     dw: f64,
     outer_val: f64,
 ) {
-    if mode == Mode::Conventional && u == w {
-        return; // diagonal pinned to 1 afterwards
-    }
     let mut val = damping / (du * dw) * outer_val;
     if let Some(delta) = opts.threshold {
         if val < delta {
@@ -482,7 +498,13 @@ mod tests {
 
     #[test]
     fn outer_sharing_saves_adds() {
-        let g = paper_fig1a();
+        // Under the triangular pair set the shared walk pays for ancestors
+        // of needed nodes, so the win needs real in-set overlap to show —
+        // the copying model provides it (the tiny paper fixture now ties).
+        let g = simrank_graph::gen::copying_web_graph(
+            simrank_graph::gen::CopyingParams::berkstan_like(120),
+            7,
+        );
         let opts = SimRankOptions::default();
         let plan = SharingPlan::build(&g, &opts);
         let (_, with) = run(&g, &plan, &opts, Mode::Conventional, 3, None);

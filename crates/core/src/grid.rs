@@ -10,9 +10,12 @@ use crate::matrix::SimMatrix;
 /// on `ScoreGrid` ping-pong buffers and convert the final result to the
 /// packed [`SimMatrix`] via [`ScoreGrid::to_sim_matrix`].
 ///
-/// Rows are written per *source* vertex each iteration; symmetry therefore
-/// holds up to floating-point summation order (the conversion symmetrizes
-/// by averaging, which is a no-op in exact arithmetic).
+/// Every dense sweep computes only the **upper triangle** (`b ≥ a`) — the
+/// SimRank recurrence is symmetric, so the lower triangle is redundant
+/// arithmetic — and then mirrors it down with the bandwidth-only
+/// [`ScoreGrid::mirror_upper_to_lower`] pass (or its sharded sibling
+/// `par::mirror_upper_to_lower`) before the next iteration reads whole
+/// rows. The upper triangle is therefore authoritative everywhere.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScoreGrid {
     n: usize,
@@ -156,12 +159,27 @@ impl ScoreGrid {
             .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
     }
 
-    /// Converts to packed symmetric storage, averaging the two triangles.
+    /// Copies the (authoritative) upper triangle of each row into the
+    /// strictly-lower triangle of the rows below it: `(a, b) ← (b, a)` for
+    /// all `b < a`. This is the sequential form of the post-pass every
+    /// triangular sweep runs before the next iteration reads full rows;
+    /// `par::mirror_upper_to_lower` shards it by row weight.
+    pub fn mirror_upper_to_lower(&mut self) {
+        for a in 1..self.n {
+            for b in 0..a {
+                self.data[a * self.n + b] = self.data[b * self.n + a];
+            }
+        }
+    }
+
+    /// Converts to packed symmetric storage — a straight copy of the upper
+    /// triangle, which the triangular sweeps make authoritative (no
+    /// averaging of redundantly-computed triangles).
     pub fn to_sim_matrix(&self) -> SimMatrix {
         let mut out = SimMatrix::zeros(self.n);
         for a in 0..self.n {
             for b in a..self.n {
-                out.set(a, b, 0.5 * (self.get(a, b) + self.get(b, a)));
+                out.set(a, b, self.get(a, b));
             }
         }
         out
@@ -197,13 +215,34 @@ mod tests {
     }
 
     #[test]
-    fn to_sim_matrix_symmetrizes() {
+    fn to_sim_matrix_is_exact_upper_triangle_copy() {
+        // Regression: the conversion is a straight copy of the upper
+        // triangle — no averaging drift. On an asymmetrically-written grid
+        // the lower-triangle garbage must be ignored entirely.
         let mut g = ScoreGrid::zeros(2);
         g.set(0, 1, 0.4);
-        g.set(1, 0, 0.6);
+        g.set(1, 0, 0.6); // stale lower-triangle value: must not leak
         let m = g.to_sim_matrix();
-        assert!((m.get(0, 1) - 0.5).abs() < 1e-15);
-        assert!((m.get(1, 0) - 0.5).abs() < 1e-15);
+        assert_eq!(m.get(0, 1), 0.4);
+        assert_eq!(m.get(1, 0), 0.4);
+    }
+
+    #[test]
+    fn mirror_overwrites_lower_triangle() {
+        let mut g = ScoreGrid::zeros(3);
+        g.set(0, 1, 0.25);
+        g.set(0, 2, 0.5);
+        g.set(1, 2, 0.75);
+        g.set(2, 0, 9.0); // stale value the mirror must clobber
+        g.set_diagonal(1.0);
+        g.mirror_upper_to_lower();
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(g.get(a, b), g.get(b, a), "({a},{b})");
+            }
+        }
+        assert_eq!(g.get(2, 0), 0.5);
+        assert_eq!(g.get(1, 1), 1.0, "diagonal untouched");
     }
 
     #[test]

@@ -14,7 +14,13 @@ pub struct Report {
     pub iterations: u32,
     /// Similarity additions/subtractions performed across all iterations —
     /// the abstract cost the OIP optimization minimizes (paper §III's
-    /// "number of additions").
+    /// "number of additions"). Since the triangular-sweep refactor every
+    /// dense outer accumulation runs once per **unordered** pair (`b ≥ a`;
+    /// SimRank is symmetric), so these counts are roughly half the
+    /// full-square model's; the mirror pass that restores the lower
+    /// triangle is a pure copy and counts zero. The committed
+    /// `baselines/op_counts.txt` gate keeps the halved counts from
+    /// silently regressing.
     pub adds: u64,
     /// Wall time spent building the transition-cost graph and its minimum
     /// spanning arborescence (`DMST-Reduce`).

@@ -236,8 +236,144 @@ impl Fingerprints {
     }
 
     /// Single-source estimates `s(a, ·)` for all vertices.
+    ///
+    /// The source walk for each world is decoded **once** and streamed
+    /// against every candidate — not re-fetched per target the way a naive
+    /// `(0..n).map(|b| estimate(a, b))` loop does — while keeping the
+    /// per-entry summation order (worlds ascending) identical, so the
+    /// results match the pairwise estimator bit-for-bit.
     pub fn single_source(&self, c: f64, a: NodeId, n: usize) -> Vec<f64> {
-        (0..n as NodeId).map(|b| self.estimate(c, a, b)).collect()
+        let mut out = vec![0.0; n];
+        self.single_source_into(c, a, &mut out);
+        out
+    }
+
+    /// [`Fingerprints::single_source`] writing into a caller-provided
+    /// buffer (`out.len()` is the vertex count) — the allocation-free form
+    /// the batched query path hands each worker.
+    fn single_source_into(&self, c: f64, a: NodeId, out: &mut [f64]) {
+        // Hoisted source-side decode: one slice per world, trimmed to its
+        // live prefix (everything from the first stop sentinel on can
+        // never meet), computed once instead of once per (target, world).
+        // Worlds whose source walk never started drop out entirely.
+        let src: Vec<(u32, &[NodeId])> = (0..self.rounds)
+            .filter_map(|r| {
+                let wa = self.walk(a, r);
+                let live = wa.iter().position(|&x| x == NONE).unwrap_or(wa.len());
+                (live > 0).then(|| (r, &wa[..live]))
+            })
+            .collect();
+        // Targets stay in the outer loop (matching `estimate`'s memory
+        // order over the node-major table): each target's worlds are one
+        // contiguous block, and per target the surviving worlds ascend —
+        // the same addition sequence as `estimate`, hence bit-identical.
+        for (b, acc) in out.iter_mut().enumerate() {
+            if b as NodeId == a {
+                *acc = 1.0;
+                continue;
+            }
+            let mut sum = 0.0;
+            for &(r, wa) in &src {
+                let wb = self.walk(b as NodeId, r);
+                for (t, (&x, &y)) in wa.iter().zip(wb).enumerate() {
+                    if y == NONE {
+                        break;
+                    }
+                    if x == y {
+                        sum += c.powi(t as i32 + 1);
+                        break;
+                    }
+                }
+            }
+            *acc = sum / self.rounds as f64;
+        }
+    }
+
+    /// Batched single-source queries: one score vector per source, with
+    /// sources sharded across the persistent worker pool (the process
+    /// default worker count).
+    ///
+    /// Each source is computed wholly by one worker with the exact
+    /// sequential arithmetic of [`Fingerprints::single_source`], so the
+    /// result is bit-identical for every thread count — which worker takes
+    /// which source is scheduling only.
+    pub fn single_source_batch(&self, c: f64, sources: &[NodeId], n: usize) -> Vec<Vec<f64>> {
+        self.single_source_batch_with_threads(c, sources, n, SimRankOptions::default().threads)
+    }
+
+    /// As [`Fingerprints::single_source_batch`] with an explicit worker
+    /// count.
+    pub fn single_source_batch_with_threads(
+        &self,
+        c: f64,
+        sources: &[NodeId],
+        n: usize,
+        threads: NonZeroUsize,
+    ) -> Vec<Vec<f64>> {
+        let mut out: Vec<Vec<f64>> = sources.iter().map(|_| vec![0.0; n]).collect();
+        let workers = par::effective_workers(threads, sources.len());
+        let blocks = par::blocks(sources.len(), workers);
+        let mut items: Vec<(&[NodeId], &mut [Vec<f64>])> = Vec::with_capacity(blocks.len());
+        let mut rest: &mut [Vec<f64>] = &mut out;
+        for block in &blocks {
+            let (band, tail) = rest.split_at_mut(block.len());
+            items.push((&sources[block.clone()], band));
+            rest = tail;
+        }
+        par::WorkerPool::scoped(workers, |pool| {
+            pool.sweep(items, |(srcs, band), _counter| {
+                for (&a, row) in srcs.iter().zip(band) {
+                    self.single_source_into(c, a, row);
+                }
+            });
+        });
+        out
+    }
+
+    /// Top-k over many sources: for each source, the `k` most similar
+    /// *other* vertices, descending by score with ties broken by ascending
+    /// vertex id (matching [`crate::topk::top_k`]'s deterministic order).
+    /// Sources shard across the worker pool exactly like
+    /// [`Fingerprints::single_source_batch`], so rankings are
+    /// thread-invariant.
+    pub fn top_k_batch(
+        &self,
+        c: f64,
+        sources: &[NodeId],
+        n: usize,
+        k: usize,
+    ) -> Vec<Vec<(NodeId, f64)>> {
+        self.top_k_batch_with_threads(c, sources, n, k, SimRankOptions::default().threads)
+    }
+
+    /// As [`Fingerprints::top_k_batch`] with an explicit worker count.
+    pub fn top_k_batch_with_threads(
+        &self,
+        c: f64,
+        sources: &[NodeId],
+        n: usize,
+        k: usize,
+        threads: NonZeroUsize,
+    ) -> Vec<Vec<(NodeId, f64)>> {
+        self.single_source_batch_with_threads(c, sources, n, threads)
+            .into_iter()
+            .zip(sources)
+            .map(|(scores, &a)| {
+                let mut ranked: Vec<(NodeId, f64)> = scores
+                    .into_iter()
+                    .enumerate()
+                    .map(|(v, s)| (v as NodeId, s))
+                    .filter(|&(v, _)| v != a)
+                    .collect();
+                ranked.sort_by(|x, y| {
+                    y.1.partial_cmp(&x.1)
+                        .expect("similarity scores are finite")
+                        .then(x.0.cmp(&y.0))
+                });
+                ranked.truncate(k);
+                ranked
+            })
+            .collect()
     }
 }
 
@@ -308,6 +444,69 @@ mod tests {
         assert_eq!(row.len(), 9);
         assert_eq!(row[0], 1.0);
         assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn single_source_matches_pairwise_estimator_bitwise() {
+        // The hoisted source-walk decode must not change a single bit: the
+        // per-entry summation order (worlds ascending) is identical to the
+        // pairwise estimator's.
+        let g = paper_fig1a();
+        let fp = Fingerprints::sample(&g, 9, 300, 17);
+        for a in 0..9 {
+            let fast = fp.single_source(0.6, a, 9);
+            for b in 0..9u32 {
+                assert_eq!(fast[b as usize], fp.estimate(0.6, a, b), "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_single_source_is_thread_invariant() {
+        let g = paper_fig1a();
+        let fp = Fingerprints::sample(&g, 8, 120, 5);
+        let sources: Vec<NodeId> = vec![0, 2, 3, 5, 7, 8];
+        let base = fp.single_source_batch_with_threads(0.6, &sources, 9, nz(1));
+        // Sequential oracle: the batch is exactly the per-source queries.
+        for (row, &a) in base.iter().zip(&sources) {
+            assert_eq!(row, &fp.single_source(0.6, a, 9));
+        }
+        for t in [2usize, 3, 4, 8] {
+            let batch = fp.single_source_batch_with_threads(0.6, &sources, 9, nz(t));
+            assert_eq!(batch, base, "threads = {t}");
+        }
+        // Degenerate shapes.
+        assert!(fp.single_source_batch(0.6, &[], 9).is_empty());
+    }
+
+    #[test]
+    fn top_k_batch_is_deterministic_and_ranked() {
+        let g = paper_fig1a();
+        let fp = Fingerprints::sample(&g, 8, 200, 11);
+        let sources: Vec<NodeId> = vec![1, 4, 6];
+        let base = fp.top_k_batch_with_threads(0.6, &sources, 9, 3, nz(1));
+        for (ranked, &a) in base.iter().zip(&sources) {
+            assert!(ranked.len() <= 3);
+            assert!(ranked.iter().all(|&(v, _)| v != a), "source excluded");
+            for w in ranked.windows(2) {
+                assert!(
+                    w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                    "descending score, ties by ascending id"
+                );
+            }
+            // Agrees with the single-source scores it is derived from.
+            let scores = fp.single_source(0.6, a, 9);
+            for &(v, s) in ranked {
+                assert_eq!(s, scores[v as usize]);
+            }
+        }
+        for t in [2usize, 4] {
+            assert_eq!(
+                fp.top_k_batch_with_threads(0.6, &sources, 9, 3, nz(t)),
+                base,
+                "threads = {t}"
+            );
+        }
     }
 
     #[test]

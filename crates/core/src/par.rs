@@ -111,6 +111,47 @@ pub fn weighted_blocks(weights: &[usize], workers: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Copies the authoritative upper triangle of `grid` into its strictly
+/// lower triangle, sharded across the pool by triangular row weights
+/// (mirroring row `a` writes `a` entries, so equal row bands would starve
+/// the early workers). This is the bandwidth-only post-pass every
+/// triangular sweep runs after computing pairs `b ≥ a`, so the next
+/// iteration can keep reading whole contiguous rows; it performs no
+/// similarity arithmetic and therefore counts zero adds.
+pub fn mirror_upper_to_lower(pool: &mut WorkerPool<'_>, grid: &mut ScoreGrid) {
+    let n = grid.order();
+    if n < 2 {
+        return;
+    }
+    if pool.workers() == 1 {
+        grid.mirror_upper_to_lower();
+        return;
+    }
+    let weights: Vec<usize> = (0..n).collect();
+    let blocks = weighted_blocks(&weights, pool.workers());
+    // Raw shared pointer instead of `RowWriter`: a mirroring worker *reads*
+    // strictly-upper entries of rows owned by other workers, so handing out
+    // whole-row `&mut` slices would alias. Globally, writes touch only
+    // strictly-lower entries and reads only strictly-upper ones — disjoint
+    // address sets — so unordered raw accesses are race-free.
+    struct MirrorPtr(*mut f64);
+    unsafe impl Send for MirrorPtr {}
+    unsafe impl Sync for MirrorPtr {}
+    let ptr = MirrorPtr(grid.data_mut().as_mut_ptr());
+    pool.sweep(blocks, |rows, _counter| {
+        let p = &ptr;
+        for a in rows {
+            for b in 0..a {
+                // SAFETY: `(a, b)` is strictly lower and row `a` belongs to
+                // exactly one block, so this write races with nothing; the
+                // read at `(b, a)` is strictly upper, which no worker
+                // writes during the mirror.
+                unsafe { *p.0.add(a * n + b) = *p.0.add(b * n + a) };
+            }
+        }
+    });
+}
+
 /// Greedy longest-processing-time assignment of weighted jobs to at most
 /// `workers` bins. Returns one job-index list per non-empty bin; the
 /// assignment is deterministic (ties resolve toward lower bin and job
@@ -577,6 +618,30 @@ mod tests {
             })
         }));
         assert_eq!(result.ok(), Some(60));
+    }
+
+    #[test]
+    fn sharded_mirror_matches_sequential() {
+        let n = 17;
+        let mut seq = ScoreGrid::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                seq.set(i, j, (i * 31 + j) as f64 * 0.01);
+            }
+        }
+        // Poison the lower triangle: the mirror must overwrite all of it.
+        for i in 1..n {
+            for j in 0..i {
+                seq.set(i, j, -7.0);
+            }
+        }
+        let sharded = seq.clone();
+        seq.mirror_upper_to_lower();
+        for workers in [1usize, 2, 3, 4] {
+            let mut g = sharded.clone();
+            WorkerPool::scoped(workers, |pool| mirror_upper_to_lower(pool, &mut g));
+            assert_eq!(g, seq, "workers = {workers}");
+        }
     }
 
     #[test]

@@ -87,6 +87,29 @@ pub enum Step {
     },
 }
 
+/// Subtree metadata for the **triangular** outer pass.
+///
+/// SimRank is symmetric, so when emitting source `u` the outer walk only
+/// needs targets `w > u` (the strictly-upper pairs; the differential mode
+/// also keeps `w = u`). The Proposition 4 sharing chain still forces every
+/// *ancestor* of a needed node to be computed — `Outer[node]` derives from
+/// `Outer[parent]` — but any subtree whose largest target id falls below
+/// the source's threshold can be skipped wholesale without touching a
+/// single scalar. Because a computed node's parent is always computed too,
+/// the values produced by the pruned walk are bit-identical to the full
+/// walk's.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OuterPrune {
+    /// For preorder position `i`, the exclusive preorder position where
+    /// the subtree rooted at `preorder[i]` ends: jumping there bypasses
+    /// the whole subtree.
+    pub subtree_end: Vec<usize>,
+    /// For tree node `v` (1-based, indexed like `arb`), the largest target
+    /// *vertex id* emitted anywhere in `v`'s subtree. Entry 0 (the root
+    /// `∅`) is unused.
+    pub subtree_max: Vec<NodeId>,
+}
+
 /// The precomputed sharing plan for a graph.
 #[derive(Clone, Debug)]
 pub struct SharingPlan {
@@ -112,6 +135,10 @@ pub struct SharingPlan {
     pub segments: Vec<std::ops::Range<usize>>,
     /// Number of buffer slots the schedule needs.
     pub slots: usize,
+    /// Subtree metadata that lets the triangular outer pass skip whole
+    /// preorder subtrees containing no target the current source still
+    /// needs (see [`OuterPrune`]).
+    pub prune: OuterPrune,
     /// Total arborescence weight (sum of chosen transition costs).
     pub tree_weight: u64,
     /// Wall time spent constructing this plan (the Fig. 6b "Build MST"
@@ -169,6 +196,7 @@ impl SharingPlan {
         let preorder = Self::preorder(&arb);
         let (schedule, slots) = Self::build_schedule(&arb, &ops);
         let segments = Self::root_segments(&arb, &schedule);
+        let prune = Self::outer_prune(&arb, &preorder, &targets);
         let tree_weight = arb.total_weight;
         SharingPlan {
             targets,
@@ -178,6 +206,7 @@ impl SharingPlan {
             schedule,
             segments,
             slots,
+            prune,
             tree_weight,
             build_time: start.elapsed(),
         }
@@ -332,6 +361,42 @@ impl SharingPlan {
             }
         }
         order
+    }
+
+    /// Computes the [`OuterPrune`] metadata: per-subtree max target id
+    /// (a reverse-preorder max-fold, children before parents) and each
+    /// preorder position's subtree extent (a node's subtree is exactly the
+    /// contiguous run of strictly deeper nodes that follows it).
+    fn outer_prune(arb: &Arborescence, preorder: &[u32], targets: &[NodeId]) -> OuterPrune {
+        let mut subtree_max = vec![0 as NodeId; arb.len()];
+        for &node in preorder {
+            subtree_max[node as usize] = targets[node as usize - 1];
+        }
+        for &node in preorder.iter().rev() {
+            let parent = arb.parent(node as usize).expect("non-root has a parent");
+            if parent != 0 {
+                subtree_max[parent] = subtree_max[parent].max(subtree_max[node as usize]);
+            }
+        }
+        let mut depth = vec![0usize; arb.len()];
+        let mut subtree_end = vec![0usize; preorder.len()];
+        let mut open: Vec<usize> = Vec::new(); // preorder positions, one per depth level
+        for (i, &node) in preorder.iter().enumerate() {
+            let parent = arb.parent(node as usize).expect("non-root has a parent");
+            let d = if parent == 0 { 0 } else { depth[parent] + 1 };
+            depth[node as usize] = d;
+            while open.len() > d {
+                subtree_end[open.pop().expect("len checked")] = i;
+            }
+            open.push(i);
+        }
+        for pos in open {
+            subtree_end[pos] = preorder.len();
+        }
+        OuterPrune {
+            subtree_end,
+            subtree_max,
+        }
     }
 
     /// Builds the buffer schedule: smallest subtrees first, largest subtree
@@ -533,6 +598,52 @@ mod tests {
             seen[node as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn outer_prune_extents_and_maxima_are_exact() {
+        // Validate against a brute-force ancestor walk on several graphs:
+        // positions [i+1, subtree_end[i]) must be exactly the descendants
+        // of preorder[i], and subtree_max must be the max target id over
+        // that subtree (including the node itself).
+        let graphs = [
+            paper_fig1a(),
+            simrank_graph::gen::gnm(30, 110, 5),
+            simrank_graph::gen::preferential_attachment(25, 3, 1),
+        ];
+        for g in &graphs {
+            let plan = SharingPlan::build(g, &SimRankOptions::default());
+            let pre = &plan.preorder;
+            let is_descendant = |anc: usize, mut v: usize| -> bool {
+                while let Some(p) = plan.arb.parent(v) {
+                    if v == anc {
+                        return true;
+                    }
+                    if p == 0 {
+                        return false;
+                    }
+                    v = p;
+                }
+                false
+            };
+            for (i, &node) in pre.iter().enumerate() {
+                let end = plan.prune.subtree_end[i];
+                assert!(end > i && end <= pre.len());
+                let mut max_id = 0;
+                for (j, &other) in pre.iter().enumerate() {
+                    let inside = j >= i && j < end;
+                    assert_eq!(
+                        inside,
+                        is_descendant(node as usize, other as usize),
+                        "extent mismatch at preorder position {i} vs {j}"
+                    );
+                    if inside {
+                        max_id = max_id.max(plan.targets[other as usize - 1]);
+                    }
+                }
+                assert_eq!(plan.prune.subtree_max[node as usize], max_id);
+            }
+        }
     }
 
     #[test]

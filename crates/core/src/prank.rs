@@ -12,8 +12,11 @@
 //!
 //! runs two partial-sums passes per iteration — one over in-neighbor sets
 //! on `G`, one over out-neighbor sets (i.e. in-neighbor sets of the
-//! reversed graph) — each with its own OIP sharing plan. `λ = 1` recovers
-//! SimRank exactly.
+//! reversed graph) — each with its own OIP sharing plan. Both half-sweeps
+//! are symmetric in `(a, b)`, so each emits only the **triangular pair
+//! set** `w > u` (with subtree pruning via [`SharingPlan::prune`]); one
+//! mirror pass after the two accumulations restores the square. `λ = 1`
+//! recovers SimRank exactly.
 //!
 //! # Parallel replay
 //!
@@ -76,9 +79,15 @@ pub fn prank_with_report(g: &DiGraph, opts: &PRankOptions) -> (SimMatrix, Report
     let mut timer = PhaseTimer::start();
 
     // In-link plan on G; out-link plan is the in-link plan of reversed G.
-    let reversed = g.reverse();
-    let in_plan = SharingPlan::build(g, &opts.base);
-    let out_plan = SharingPlan::build(&reversed, &opts.base);
+    // Each direction's factor gates its entire pass, so neither the
+    // reversed graph nor a direction's O(t²·d) plan is built when λ pins
+    // that factor to zero (λ = 1 is pure SimRank, λ = 0 pure reversed
+    // SimRank — the single-direction cases run one plan build, not two).
+    let in_factor = opts.lambda * c;
+    let out_factor = (1.0 - opts.lambda) * c;
+    let reversed = (out_factor != 0.0).then(|| g.reverse());
+    let in_plan = (in_factor != 0.0).then(|| SharingPlan::build(g, &opts.base));
+    let out_plan = reversed.as_ref().map(|r| SharingPlan::build(r, &opts.base));
     let mst_build = timer.lap();
 
     let mut counter = OpCounter::new();
@@ -87,13 +96,20 @@ pub fn prank_with_report(g: &DiGraph, opts: &PRankOptions) -> (SimMatrix, Report
 
     // One pool serves both directions; each direction balances its own
     // segments across the same worker count.
-    let max_segments = in_plan.segments.len().max(out_plan.segments.len());
+    let seg_count = |p: &Option<SharingPlan>| p.as_ref().map_or(0, |p| p.segments.len());
+    let max_segments = seg_count(&in_plan).max(seg_count(&out_plan));
     let workers = par::effective_workers(opts.base.threads, max_segments);
-    let seg_weights = |p: &SharingPlan| p.segments.iter().map(|s| s.len()).collect::<Vec<_>>();
-    let in_shares = par::balance(&seg_weights(&in_plan), workers);
-    let out_shares = par::balance(&seg_weights(&out_plan), workers);
+    let shares = |p: &Option<SharingPlan>| {
+        let weights: Vec<usize> = p
+            .as_ref()
+            .map_or(Vec::new(), |p| p.segments.iter().map(|s| s.len()).collect());
+        par::balance(&weights, workers)
+    };
+    let in_shares = shares(&in_plan);
+    let out_shares = shares(&out_plan);
 
-    let slots = in_plan.slots.max(out_plan.slots);
+    let plan_slots = |p: &Option<SharingPlan>| p.as_ref().map_or(0, |p| p.slots);
+    let slots = plan_slots(&in_plan).max(plan_slots(&out_plan));
     let mut states: Vec<HalfState> = (0..workers)
         .map(|_| HalfState {
             pool: (0..slots).map(|_| vec![0.0f64; n]).collect(),
@@ -105,29 +121,37 @@ pub fn prank_with_report(g: &DiGraph, opts: &PRankOptions) -> (SimMatrix, Report
         for _ in 0..k_max {
             next.clear();
             // In-link half: accumulate λ·C/(..)·Σ into next.
-            counter.add(half_pass(
-                g,
-                &in_plan,
-                &cur,
-                &mut next,
-                &in_shares,
-                &mut states,
-                opts.lambda * c,
-                pool,
-            ));
+            if let Some(plan) = &in_plan {
+                counter.add(half_pass(
+                    g,
+                    plan,
+                    &cur,
+                    &mut next,
+                    &in_shares,
+                    &mut states,
+                    in_factor,
+                    pool,
+                ));
+            }
             // Out-link half accumulates on top (the sweep barrier above
             // ordered the in-link writes first).
-            counter.add(half_pass(
-                &reversed,
-                &out_plan,
-                &cur,
-                &mut next,
-                &out_shares,
-                &mut states,
-                (1.0 - opts.lambda) * c,
-                pool,
-            ));
+            if let (Some(rev), Some(plan)) = (&reversed, &out_plan) {
+                counter.add(half_pass(
+                    rev,
+                    plan,
+                    &cur,
+                    &mut next,
+                    &out_shares,
+                    &mut states,
+                    out_factor,
+                    pool,
+                ));
+            }
             next.set_diagonal(1.0);
+            // Both half-passes wrote only strictly-upper pairs: one
+            // bandwidth-only mirror restores the square for the next
+            // iteration's row reads.
+            par::mirror_upper_to_lower(pool, &mut next);
             std::mem::swap(&mut cur, &mut next);
         }
     });
@@ -137,8 +161,13 @@ pub fn prank_with_report(g: &DiGraph, opts: &PRankOptions) -> (SimMatrix, Report
         adds: counter.total(),
         mst_build,
         share_sums: timer.lap(),
-        tree_weight: in_plan.tree_weight + out_plan.tree_weight,
-        d_eff: 0.5 * (in_plan.d_eff() + out_plan.d_eff()),
+        // Report only the plans a run actually built: the single-direction
+        // cases (λ = 0/1) carry one tree, not a phantom second.
+        tree_weight: in_plan.as_ref().map_or(0, |p| p.tree_weight)
+            + out_plan.as_ref().map_or(0, |p| p.tree_weight),
+        d_eff: 0.5
+            * (in_plan.as_ref().map_or(0.0, |p| p.d_eff())
+                + out_plan.as_ref().map_or(0.0, |p| p.d_eff())),
         peak_intermediate_bytes: workers * (slots * n + n + 1) * 8,
         peak_live_buffers: workers * slots,
         workers,
@@ -244,8 +273,22 @@ fn replay_half_segment(
                 // this worker owns the segment, so row `u` is this
                 // thread's alone for the whole pass.
                 let row = unsafe { writer.row_mut(u) };
-                for &node in &plan.preorder {
-                    let wt = node as usize - 1;
+                // Triangular pair set: both P-Rank half-sweeps are
+                // symmetric, so only targets `w > u` are accumulated (the
+                // diagonal is pinned and the lower triangle mirrored after
+                // both passes). Subtrees whose largest target id is ≤ u
+                // are skipped wholesale; ancestors of needed nodes are
+                // always computed, so the surviving scalars match the
+                // full walk bit-for-bit.
+                let pre = &plan.preorder;
+                let mut i = 0;
+                while i < pre.len() {
+                    let node = pre[i] as usize;
+                    if (plan.prune.subtree_max[node] as usize) <= u {
+                        i = plan.prune.subtree_end[i];
+                        continue;
+                    }
+                    let wt = node - 1;
                     let val = match &plan.ops[wt] {
                         EdgeOp::Scratch => {
                             let ins = g.in_neighbors(plan.targets[wt]);
@@ -253,7 +296,7 @@ fn replay_half_segment(
                             ins.iter().map(|&y| partial[y as usize]).sum()
                         }
                         EdgeOp::Update { sub, add } => {
-                            let parent = plan.arb.parent(node as usize).expect("non-root");
+                            let parent = plan.arb.parent(node).expect("non-root");
                             let mut s = outer[parent];
                             for &y in sub.iter() {
                                 s -= partial[y as usize];
@@ -265,12 +308,13 @@ fn replay_half_segment(
                             s
                         }
                     };
-                    outer[node as usize] = val;
+                    outer[node] = val;
                     let w = plan.targets[wt] as usize;
-                    if w != u {
+                    if w > u {
                         let dw = g.in_degree(w as u32) as f64;
                         row[w] += factor / (du * dw) * val;
                     }
+                    i += 1;
                 }
             }
         }
@@ -403,6 +447,24 @@ mod tests {
                 assert!(rt.workers >= 1 && rt.workers <= t);
             }
         }
+    }
+
+    #[test]
+    fn report_counts_match_complexity_model() {
+        // Both half-sweeps run the same pruned triangular replay as the
+        // OIP engine: λ = 1 runs exactly one in-link pass per iteration
+        // (the out-link factor is 0 and skipped), so its counts equal
+        // OIP-SR's on the same graph *exactly*; a mixed λ runs both
+        // directions, so its counts are the sum of the two
+        // single-direction runs.
+        let g = gen::gnm(30, 120, 3);
+        let base = SimRankOptions::default().with_iterations(4);
+        let (_, r_in) = crate::oip::oip_simrank_with_report(&g, &base);
+        let (_, r_out) = crate::oip::oip_simrank_with_report(&g.reverse(), &base);
+        let (_, r1) = prank_with_report(&g, &PRankOptions { base, lambda: 1.0 });
+        assert_eq!(r1.adds, r_in.adds);
+        let (_, r_half) = prank_with_report(&g, &PRankOptions { base, lambda: 0.5 });
+        assert_eq!(r_half.adds, r_in.adds + r_out.adds);
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //!
 //! Implements the three optimizations of that work:
 //! 1. *partial sums memoization* (Eq. 4/5): `Partial_{I(a)}(·)` computed
-//!    once per source and reused across all targets — `O(K·d·n²)` total;
+//!    once per source and reused across all targets — `O(K·d·n²)` total.
+//!    The outer accumulation runs over the **triangular pair set** only
+//!    (`b > a`; SimRank is symmetric), with a bandwidth-only mirror pass
+//!    restoring the lower triangle each iteration;
 //! 2. *essential node-pair selection* (here: the weakly-connected-component
 //!    filter — cross-component pairs are identically zero);
 //! 3. *threshold-sieved similarities* (scores below `δ` clamped to zero).
@@ -44,9 +47,27 @@ pub fn psum_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatri
     // Each source's partial-sum chain is independent: shard the (sorted)
     // target list into contiguous blocks. `targets` ascend, so a block of
     // target indices maps to a contiguous band of output rows — the grid
-    // splits safely with no locks on the hot path.
+    // splits safely with no locks on the hot path. The outer loop is
+    // *triangular* (source `a` only visits targets `b > a`; the mirror
+    // pass recovers the rest), so blocks are carved by work weight —
+    // memoization `(d_a − 1)·n` plus the shrinking outer suffix
+    // `Σ_{b>a} (d_b − 1)` — not by equal length.
     let workers = par::effective_workers(opts.threads, targets.len());
-    let target_blocks = par::blocks(targets.len(), workers);
+    let mut target_weights = vec![0usize; targets.len()];
+    let mut suffix_outer = 0usize;
+    for i in (0..targets.len()).rev() {
+        let d = g.in_neighbors(targets[i]).len();
+        // The globally-last target skips its memoization pass (no b > a
+        // consumers), so it carries no (d−1)·n term.
+        let memo = if i + 1 == targets.len() {
+            0
+        } else {
+            d.saturating_sub(1) * n
+        };
+        target_weights[i] = memo + suffix_outer + (targets.len() - i);
+        suffix_outer += d.saturating_sub(1);
+    }
+    let target_blocks = par::weighted_blocks(&target_weights, workers);
     let row_bands: Vec<std::ops::Range<usize>> = target_blocks
         .iter()
         .map(|b| targets[b.start] as usize..targets[b.end - 1] as usize + 1)
@@ -70,7 +91,13 @@ pub fn psum_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatri
                 .collect();
             counter.add(pool.sweep(items, |((block, band), partial), counter| {
                 let band_start = targets[block.start] as usize;
-                for &a in &targets[block] {
+                for (idx, &a) in targets.iter().enumerate().take(block.end).skip(block.start) {
+                    if idx + 1 == targets.len() {
+                        // No targets b > a remain: the partial sum would
+                        // have zero consumers, so skip the whole
+                        // memoization pass (its row is mirror-filled).
+                        continue;
+                    }
                     let ins_a = g.in_neighbors(a);
                     // Memoize Partial_{I(a)}(y) for all y (Eq. 4), from scratch.
                     partial.fill(0.0);
@@ -81,10 +108,9 @@ pub fn psum_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatri
                     let da = ins_a.len() as f64;
                     let r = a as usize - band_start;
                     let row = &mut band[r * n..(r + 1) * n];
-                    for &b in &targets {
-                        if b == a {
-                            continue;
-                        }
+                    // Triangular outer accumulation: `targets` ascend, so
+                    // the suffix after `idx` is exactly the pair set b > a.
+                    for &b in &targets[idx + 1..] {
                         if let Some(comp) = &components {
                             if comp[a as usize] != comp[b as usize] {
                                 continue; // essential-pair filter: provably zero
@@ -108,6 +134,7 @@ pub fn psum_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatri
                 }
             }));
             next.set_diagonal(1.0);
+            par::mirror_upper_to_lower(pool, &mut next);
             std::mem::swap(&mut cur, &mut next);
         }
     });
@@ -256,14 +283,30 @@ mod tests {
 
     #[test]
     fn report_counts_match_complexity_model() {
-        // For psum-SR the additions per iteration are
-        // n·Σ(|I(a)|−1) + Σ_a Σ_b (|I(b)|−1) — check the exact count on the
-        // fixture: targets have degrees [2,2,2,3,4,4] (Σ(d−1)=11), n = 9.
+        // For triangular psum-SR the additions per iteration are
+        //   inner:  n·Σ_a (|I(a)|−1)  over every source *except the last*
+        //           (its partial sum would have zero b > a consumers and
+        //           is skipped outright),
+        //   outer:  Σ_a Σ_{b>a} (|I(b)|−1)  (halved pair set).
+        // Target b (ascending id, index i) is visited by exactly the i
+        // sources before it, so outer = Σ_i i·(|I(b_i)|−1). On the fixture
+        // (Σ(d−1)=11, n=9, last target degree 2) that is 90 + 25 = 115,
+        // down from the full-square 99 + 55.
         let g = paper_fig1a();
         let (_, r) = psum_simrank_with_report(&g, &SimRankOptions::default().with_iterations(1));
-        let inner = 9 * 11; // n · Σ(|I(a)|−1)
-        let outer = 6 * 11 - 11; // Σ_a Σ_{b≠a} (|I(b)|−1)
-        assert_eq!(r.adds, (inner + outer) as u64);
+        let targets = g.nodes_with_in_edges();
+        let inner: u64 = targets[..targets.len() - 1]
+            .iter()
+            .map(|&t| 9 * (g.in_degree(t) as u64 - 1))
+            .sum();
+        let outer: u64 = targets
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| i as u64 * (g.in_degree(t) as u64 - 1))
+            .sum();
+        assert_eq!(inner, 90);
+        assert_eq!(outer, 25);
+        assert_eq!(r.adds, inner + outer);
     }
 
     #[test]

@@ -3,9 +3,15 @@
 
 use proptest::prelude::*;
 use simrank_core::{
-    convergence, dsr::oip_dsr_simrank, matrixform, montecarlo::Fingerprints, naive::naive_simrank,
-    oip::oip_simrank, prank::prank_with_report, prank::PRankOptions, psum::psum_simrank, setops,
-    CostModel, SharingPlan, SimRankOptions,
+    convergence,
+    dsr::oip_dsr_simrank,
+    matrixform,
+    montecarlo::Fingerprints,
+    naive::{naive_simrank, naive_simrank_with_report},
+    oip::{oip_simrank, oip_simrank_with_report},
+    prank::{prank_with_report, PRankOptions},
+    psum::{psum_simrank, psum_simrank_with_report},
+    setops, CostModel, SharingPlan, SimRankOptions,
 };
 use simrank_graph::{DiGraph, NodeId};
 use std::num::NonZeroUsize;
@@ -164,10 +170,12 @@ proptest! {
         }
     }
 
-    /// Determinism contract of the block-sharded executor: `threads = N`
-    /// matches `threads = 1` within 1e-12 (in fact bit-for-bit — workers
-    /// own disjoint row blocks and the per-row arithmetic is unchanged)
-    /// for naive, psum, and OIP.
+    /// Determinism contract of the block-sharded executor over the
+    /// *triangular* sweeps: workers own disjoint weighted row bands of the
+    /// upper triangle, every row keeps its ascending-index summation
+    /// order, and the mirror post-pass is a pure copy — so `threads = N`
+    /// reproduces `threads = 1` **bit-for-bit** (scores *and* merged op
+    /// counts) for naive, psum, and OIP.
     #[test]
     fn parallel_matches_single_thread(
         g in arb_graph(),
@@ -180,14 +188,26 @@ proptest! {
             .with_iterations(k)
             .with_threads(1);
         let sharded = single.with_threads(t);
-        let pairs = [
-            (naive_simrank(&g, &single), naive_simrank(&g, &sharded), "naive"),
-            (psum_simrank(&g, &single), psum_simrank(&g, &sharded), "psum"),
-            (oip_simrank(&g, &single), oip_simrank(&g, &sharded), "oip"),
+        let runs = [
+            (
+                naive_simrank_with_report(&g, &single),
+                naive_simrank_with_report(&g, &sharded),
+                "naive",
+            ),
+            (
+                psum_simrank_with_report(&g, &single),
+                psum_simrank_with_report(&g, &sharded),
+                "psum",
+            ),
+            (
+                oip_simrank_with_report(&g, &single),
+                oip_simrank_with_report(&g, &sharded),
+                "oip",
+            ),
         ];
-        for (a, b, name) in &pairs {
-            let diff = a.max_abs_diff(b);
-            prop_assert!(diff <= 1e-12, "{name}: threads={t} diverged by {diff}");
+        for ((s1, r1), (st, rt), name) in &runs {
+            prop_assert_eq!(s1.max_abs_diff(st), 0.0, "{}: threads={} diverged", name, t);
+            prop_assert_eq!(r1.adds, rt.adds, "{}: op-count shards must merge exactly", name);
         }
     }
 
@@ -242,9 +262,37 @@ proptest! {
         }
     }
 
+    /// Determinism contract for batched Monte-Carlo queries: each source
+    /// is computed wholly by one worker with the exact sequential
+    /// arithmetic, so the batch — and the top-k rankings derived from it —
+    /// is bit-identical at every thread count and equals the per-source
+    /// sequential queries.
+    #[test]
+    fn parallel_single_source_batch_thread_invariant(
+        g in arb_graph(),
+        seed in 0u64..1_000_000,
+    ) {
+        let nz = |t: usize| NonZeroUsize::new(t).unwrap();
+        let n = g.node_count();
+        let fp = Fingerprints::sample(&g, 6, 12, seed);
+        let sources: Vec<NodeId> = (0..n as NodeId).step_by(2).collect();
+        let base = fp.single_source_batch_with_threads(0.6, &sources, n, nz(1));
+        for (row, &a) in base.iter().zip(&sources) {
+            prop_assert_eq!(row, &fp.single_source(0.6, a, n), "source {} diverged", a);
+        }
+        let ranked1 = fp.top_k_batch_with_threads(0.6, &sources, n, 5, nz(1));
+        for t in [2usize, 4, 8] {
+            let batch = fp.single_source_batch_with_threads(0.6, &sources, n, nz(t));
+            prop_assert_eq!(&batch, &base, "batch diverged at threads={}", t);
+            let ranked = fp.top_k_batch_with_threads(0.6, &sources, n, 5, nz(t));
+            prop_assert_eq!(&ranked, &ranked1, "top-k diverged at threads={}", t);
+        }
+    }
+
     /// Determinism contract for plan construction: the sharded candidate-
     /// pair scan replays the sequential per-column best-edge decision
-    /// exactly, so every component of the plan is thread-invariant.
+    /// exactly, so every component of the plan — including the triangular
+    /// pruning metadata — is thread-invariant.
     #[test]
     fn parallel_plan_build_thread_invariant(g in arb_graph(), t in 2usize..9) {
         let base = SimRankOptions::default();
@@ -257,6 +305,7 @@ proptest! {
         prop_assert_eq!(&p1.schedule, &pt.schedule);
         prop_assert_eq!(&p1.segments, &pt.segments);
         prop_assert_eq!(p1.slots, pt.slots);
+        prop_assert_eq!(&p1.prune, &pt.prune);
         prop_assert_eq!(p1.tree_weight, pt.tree_weight);
     }
 

@@ -37,7 +37,11 @@
 //! (`SharingPlan::build`) — merging instrumentation shards exactly.
 //! `SimRankOptions::with_threads` sets the worker count (default: all
 //! cores); results are bit-for-bit identical for every value, so
-//! parallelism is purely a throughput knob:
+//! parallelism is purely a throughput knob. Independently of threading,
+//! every dense sweep exploits SimRank's symmetry: only unordered pairs
+//! `b ≥ a` are computed (half the arithmetic of the textbook loop) and a
+//! bandwidth-only mirror pass restores the lower triangle each
+//! iteration.
 //!
 //! ```
 //! use simrank::prelude::*;

@@ -1,0 +1,141 @@
+//! Op-count regression gate.
+//!
+//! The triangular-sweep refactor halved the dense outer-accumulation
+//! arithmetic (every unordered pair is computed once; the mirror pass is a
+//! pure copy and counts nothing). This test pins the exact
+//! [`simrank::algo::Report::adds`] of every algorithm on fixed fixture
+//! graphs against the committed `baselines/op_counts.txt`, so a silent
+//! re-introduction of redundant arithmetic — or an accidental drop that
+//! would indicate skipped work — fails CI by name.
+//!
+//! To regenerate after an *intended* cost-model change:
+//!
+//! ```text
+//! SIMRANK_UPDATE_BASELINES=1 cargo test --test op_baselines
+//! ```
+
+use simrank::algo::montecarlo::Fingerprints;
+use simrank::algo::prank::{prank_with_report, PRankOptions};
+use simrank::algo::{dsr, naive, oip, psum, SimRankOptions};
+use simrank::graph::{fixtures, gen, DiGraph};
+use std::collections::BTreeMap;
+use std::num::NonZeroUsize;
+
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/op_counts.txt");
+
+/// The fixture graphs the gate runs on: the paper's Fig. 1a example, a
+/// uniform random graph, and a copying-model web graph (the in-set overlap
+/// OIP exploits).
+fn fixture_graphs() -> Vec<(&'static str, DiGraph)> {
+    vec![
+        ("fig1a", fixtures::paper_fig1a()),
+        ("gnm40", gen::gnm(40, 160, 7)),
+        (
+            "copy120",
+            gen::copying_web_graph(gen::CopyingParams::berkstan_like(120), 7),
+        ),
+    ]
+}
+
+/// Measures every `<algorithm>/<graph>` case. Counts are thread-invariant
+/// by the executor's shard-merge contract; `threads = 1` keeps the gate
+/// cheap on CI.
+fn measured_cases() -> Vec<(String, u64)> {
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_iterations(5)
+        .with_threads(1);
+    let mut out = Vec::new();
+    for (gname, g) in fixture_graphs() {
+        out.push((
+            format!("naive/{gname}"),
+            naive::naive_simrank_with_report(&g, &opts).1.adds,
+        ));
+        out.push((
+            format!("psum/{gname}"),
+            psum::psum_simrank_with_report(&g, &opts).1.adds,
+        ));
+        out.push((
+            format!("oip/{gname}"),
+            oip::oip_simrank_with_report(&g, &opts).1.adds,
+        ));
+        out.push((
+            format!("oip_dsr/{gname}"),
+            dsr::oip_dsr_simrank_with_report(&g, &opts).1.adds,
+        ));
+        out.push((
+            format!("prank/{gname}"),
+            prank_with_report(
+                &g,
+                &PRankOptions {
+                    base: opts,
+                    lambda: 0.5,
+                },
+            )
+            .1
+            .adds,
+        ));
+        out.push((
+            format!("montecarlo/{gname}"),
+            Fingerprints::sample_with_report(&g, 8, 32, 1, NonZeroUsize::MIN)
+                .1
+                .adds,
+        ));
+    }
+    out
+}
+
+#[test]
+fn op_counts_match_committed_baselines() {
+    let measured = measured_cases();
+    if std::env::var_os("SIMRANK_UPDATE_BASELINES").is_some() {
+        let mut body = String::from(
+            "# Per-algorithm Report::adds baselines on the fixture graphs (see\n\
+             # tests/op_baselines.rs). Regenerate after intended cost-model\n\
+             # changes with: SIMRANK_UPDATE_BASELINES=1 cargo test --test op_baselines\n",
+        );
+        for (name, adds) in &measured {
+            body.push_str(&format!("{name} {adds}\n"));
+        }
+        std::fs::write(BASELINE_PATH, body).expect("write baselines/op_counts.txt");
+        return; // freshly regenerated: trivially in sync
+    }
+
+    let committed = std::fs::read_to_string(BASELINE_PATH).expect(
+        "baselines/op_counts.txt missing — generate it with \
+         SIMRANK_UPDATE_BASELINES=1 cargo test --test op_baselines",
+    );
+    let mut baseline: BTreeMap<&str, u64> = BTreeMap::new();
+    for line in committed.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, adds) = line
+            .split_once(' ')
+            .expect("baseline lines are `<case> <adds>`");
+        baseline.insert(name, adds.trim().parse().expect("baseline adds count"));
+    }
+
+    for (name, adds) in &measured {
+        let want = *baseline.get(name.as_str()).unwrap_or_else(|| {
+            panic!("no committed baseline for `{name}` — regenerate op_counts.txt")
+        });
+        assert!(
+            *adds <= want,
+            "{name}: op count regressed above baseline ({adds} > {want}) — \
+             was redundant (e.g. lower-triangle) arithmetic reintroduced?"
+        );
+        assert!(
+            *adds >= want,
+            "{name}: op count fell below baseline ({adds} < {want}); if this is an \
+             intended optimization, regenerate baselines/op_counts.txt"
+        );
+    }
+    for name in baseline.keys() {
+        assert!(
+            measured.iter().any(|(m, _)| m == name),
+            "stale baseline entry `{name}` no longer measured"
+        );
+    }
+}
