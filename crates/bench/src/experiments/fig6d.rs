@@ -61,8 +61,8 @@ pub fn run(scale: Scale, seed: u64) -> Fig6d {
         let (_, r_oip) = oip::oip_simrank_with_report(&d.graph, &opts);
         let (_, r_psum) = psum::psum_simrank_with_report(&d.graph, &opts);
         // mtx-SR's intermediate memory is a closed-form function of its
-        // dense factors (3n² + 2nr + 3r², full rank r = n); above the
-        // runtime cap we evaluate that model analytically instead of
+        // dense factors (`mtx::model_peak_bytes`, full rank r = n); above
+        // the runtime cap we evaluate that model analytically instead of
         // paying the O(n³) SVD just to read the counter.
         let n = d.graph.node_count();
         let mtx_bytes = if n <= crate::experiments::fig6a::MTX_NODE_CAP {
@@ -70,7 +70,7 @@ pub fn run(scale: Scale, seed: u64) -> Fig6d {
                 .1
                 .peak_intermediate_bytes
         } else {
-            (3 * n * n + 2 * n * n + 3 * n * n) * 8
+            mtx::model_peak_bytes(n, n)
         };
         dblp.push(DblpMemRow {
             label: snap.label(),

@@ -136,7 +136,7 @@ pub fn run(
                 // SAFETY (RowWriter): every target is emitted exactly once
                 // per iteration and workers own disjoint segment sets, so
                 // each row of `next` is written by exactly one worker.
-                let writer = par::RowWriter::new(&mut next);
+                let writer = par::RowWriter::new(next.data_mut(), n.max(1));
                 let items: Vec<_> = shares.iter().zip(states.iter_mut()).collect();
                 counter.add(pool.sweep(items, |(share, state), counter| {
                     for &seg in share.iter() {

@@ -7,6 +7,12 @@
 
 use std::time::{Duration, Instant};
 
+// The counter lives in the extracted executor crate (its sweep API hands
+// each worker a private shard); re-exported here so `crate::instrument::
+// OpCounter` — the historical path every algorithm imports — keeps
+// working.
+pub use simrank_par::OpCounter;
+
 /// Measurements accumulated during a SimRank run.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -41,8 +47,9 @@ pub struct Report {
     /// Worker threads used by the persistent worker-pool executor
     /// ([`crate::par::WorkerPool`]). Every pooled path reports its pool
     /// width here: `naive`, `psum`, the OIP engine, both P-Rank direction
-    /// passes, and `Fingerprints::sample`. `0` means the algorithm did not
-    /// route through the executor (currently only `mtx`). The value never
+    /// passes, `Fingerprints::sample`, and `mtx` (whose SVD, matrix
+    /// products, and densification all shard over one pool) — no
+    /// algorithm path bypasses the executor anymore. The value never
     /// affects any other `Report` field except the memory-model ones
     /// (per-worker buffers scale with it): counts merge exactly across
     /// shards — see [`OpCounter::merge`].
@@ -63,46 +70,6 @@ impl Report {
         } else {
             1.0 - self.adds as f64 / baseline.adds as f64
         }
-    }
-}
-
-/// Counts abstract similarity additions.
-///
-/// # Shard-merge semantics
-///
-/// Every parallel path hands each worker a **private** `OpCounter` shard
-/// (no sharing, no atomics on the hot path) and sums the shards after the
-/// sweep's barrier. Because `u64` addition is associative and commutative,
-/// and each operation is counted by exactly one worker, the merged total
-/// is *exactly* the count a single-threaded run produces — `Report::adds`
-/// is thread-invariant, and the `parallel_*` property tests assert the
-/// equality for every pooled algorithm.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct OpCounter(u64);
-
-impl OpCounter {
-    /// Fresh counter.
-    pub fn new() -> Self {
-        OpCounter(0)
-    }
-
-    /// Records `n` additions.
-    #[inline]
-    pub fn add(&mut self, n: u64) {
-        self.0 += n;
-    }
-
-    /// Folds another worker's shard into this counter (see the type-level
-    /// shard-merge semantics: the result equals the single-threaded count
-    /// regardless of how operations were split across shards).
-    #[inline]
-    pub fn merge(&mut self, other: &OpCounter) {
-        self.0 += other.0;
-    }
-
-    /// Current count.
-    pub fn total(&self) -> u64 {
-        self.0
     }
 }
 

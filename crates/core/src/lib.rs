@@ -41,16 +41,18 @@
 //!
 //! # Parallel execution
 //!
-//! Everything except `mtx` runs on the persistent worker-pool executor in
-//! [`par`]: each run spawns a [`par::WorkerPool`] once, parks the workers
-//! between barrier-synchronized sweeps, and shards `naive`/`psum` by row
-//! band, the OIP [`engine`] and both `prank` direction passes by
-//! sharing-tree segment, `montecarlo` fingerprint sampling by node band
-//! (with deterministic per-walk seeding), and `SharingPlan::build`'s
-//! candidate-pair scan by weighted column block. Per-worker
-//! instrumentation shards merge exactly. Control the worker count with
-//! [`SimRankOptions::with_threads`]; results are bit-for-bit identical
-//! for every thread count.
+//! **Every** algorithm runs on the persistent worker-pool executor (the
+//! `simrank_par` crate, re-exported at [`par`]): each run spawns a
+//! [`par::WorkerPool`] once, parks the workers between
+//! barrier-synchronized sweeps, and shards `naive`/`psum` by row band,
+//! the OIP [`engine`] and both `prank` direction passes by sharing-tree
+//! segment, `montecarlo` fingerprint sampling by node band (with
+//! deterministic per-walk seeding), `SharingPlan::build`'s candidate-pair
+//! scan by weighted column block, and `mtx` by SVD tournament round /
+//! matmul row band / packed triangle band — no single-threaded algorithm
+//! path remains. Per-worker instrumentation shards merge exactly.
+//! Control the worker count with [`SimRankOptions::with_threads`];
+//! results are bit-for-bit identical for every thread count.
 
 pub mod convergence;
 pub mod dsr;

@@ -161,6 +161,36 @@ impl SimMatrix {
         self.data.len() * std::mem::size_of::<f64>()
     }
 
+    /// Splits the packed triangle into disjoint mutable bands of whole
+    /// packed rows, one per range.
+    ///
+    /// Packed row `hi` holds the `hi + 1` entries `s(lo, hi)` for
+    /// `lo ≤ hi`, stored contiguously — so contiguous `hi`-ranges map to
+    /// contiguous, disjoint slices, and a triangular sweep can shard its
+    /// unordered pairs across workers with no unsafe code. `bands` must be
+    /// ascending, non-overlapping ranges within `0..=n`; rows between
+    /// consecutive bands are skipped (borrowed by no one). Band `k`'s
+    /// slice starts at the entry `s(0, bands[k].start)` and its length is
+    /// the band's triangular weight `Σ (hi + 1)`.
+    pub fn packed_row_bands_mut(&mut self, bands: &[std::ops::Range<usize>]) -> Vec<&mut [f64]> {
+        let n = self.n;
+        let mut out = Vec::with_capacity(bands.len());
+        let mut rest: &mut [f64] = &mut self.data;
+        let mut cursor = 0usize;
+        for band in bands {
+            assert!(
+                band.start >= cursor && band.start <= band.end && band.end <= n,
+                "bands must be ascending and within 0..={n}"
+            );
+            let (_gap, tail) = rest.split_at_mut(tri(band.start) - tri(cursor));
+            let (rows, tail) = tail.split_at_mut(tri(band.end) - tri(band.start));
+            out.push(rows);
+            rest = tail;
+            cursor = band.end;
+        }
+        out
+    }
+
     /// Iterates `(a, b, value)` over the stored triangle (`a ≤ b`).
     pub fn iter_upper(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.n).flat_map(move |hi| (0..=hi).map(move |lo| (lo, hi, self.data[tri(hi) + lo])))
@@ -275,6 +305,30 @@ mod tests {
         let items: Vec<_> = m.iter_upper().collect();
         assert_eq!(items.len(), 6);
         assert!(items.contains(&(0, 2, 0.3)));
+    }
+
+    #[test]
+    fn packed_row_bands_are_disjoint_and_aligned() {
+        let n = 6;
+        let mut m = SimMatrix::zeros(n);
+        let bands = m.packed_row_bands_mut(&[0..2, 3..6]); // row 2 skipped
+        assert_eq!(bands.len(), 2);
+        assert_eq!(bands[0].len(), 1 + 2); // rows 0, 1
+        assert_eq!(bands[1].len(), 4 + 5 + 6); // rows 3, 4, 5
+        for (k, band) in bands.into_iter().enumerate() {
+            band.fill(k as f64 + 1.0);
+        }
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(2, 2), 0.0, "gap row untouched");
+        assert_eq!(m.get(1, 3), 2.0, "band slice starts at s(0, band.start)");
+        assert_eq!(m.get(5, 5), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn packed_row_bands_reject_overlap() {
+        let mut m = SimMatrix::zeros(4);
+        let _ = m.packed_row_bands_mut(&[0..2, 1..3]);
     }
 
     #[test]

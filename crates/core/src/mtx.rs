@@ -12,12 +12,40 @@
 //! Costs, as the paper criticizes: the `O(n³)` SVD dominates, and the final
 //! `U·M·Uᵀ` densifies the result — memory explodes on large graphs, which
 //! is exactly the Fig. 6d behaviour this implementation preserves.
+//!
+//! # Parallel execution
+//!
+//! The whole path runs on one persistent [`par::WorkerPool`]
+//! ([`SimRankOptions::threads`] flows through): the Jacobi SVD shards
+//! tournament rounds of disjoint column-pair rotations
+//! ([`Svd::compute_with`]), every dense product shards output-row bands
+//! ([`DenseMatrix::matmul_with`]), and the final densification is
+//! *triangular* — the result is symmetric, so only unordered pairs
+//! `b ≥ a` are computed (half the arithmetic of forming `U·M·Uᵀ` square)
+//! and written straight into the packed [`SimMatrix`] triangle, sharded
+//! by triangular packed-row weights. Every stage runs the exact
+//! sequential per-item arithmetic on disjoint outputs, so scores are
+//! **bit-for-bit identical at every thread count**.
 
 use crate::instrument::{PhaseTimer, Report};
 use crate::matrix::SimMatrix;
 use crate::options::SimRankOptions;
+use crate::par;
 use simrank_graph::DiGraph;
 use simrank_linalg::{CsrMatrix, DenseMatrix, Svd};
+
+/// Closed-form peak-intermediate-memory model for a rank-`r` `mtx-SR`
+/// run on `n` vertices, in bytes: the dense `Q` plus the SVD's working
+/// copies and full-width factors (`B`, `V` working, `U`, `V` output —
+/// ≈ 4n² before truncation), then the truncated factors / `G` at `n·r`
+/// and the `r × r` iteration state. The final result streams into the
+/// packed triangle, so no `n × n` staging buffer appears. This is both
+/// what [`Report::peak_intermediate_bytes`] reports and what the Fig. 6d
+/// experiment evaluates analytically above its runtime cap (`r = n`) —
+/// one definition, so the two can never skew apart.
+pub fn model_peak_bytes(n: usize, r: usize) -> usize {
+    (5 * n * n + 3 * n * r + 7 * r * r) * 8
+}
 
 /// All-pairs SimRank via truncated-SVD iteration (`mtx-SR`).
 ///
@@ -27,11 +55,25 @@ pub fn mtx_simrank(g: &DiGraph, opts: &SimRankOptions, rank: Option<usize>) -> S
     mtx_simrank_with_report(g, opts, rank).0
 }
 
-/// As [`mtx_simrank`], also returning instrumentation.
+/// As [`mtx_simrank`], also returning instrumentation (including the pool
+/// width in [`Report::workers`]).
 pub fn mtx_simrank_with_report(
     g: &DiGraph,
     opts: &SimRankOptions,
     rank: Option<usize>,
+) -> (SimMatrix, Report) {
+    let n = g.node_count();
+    let workers = par::effective_workers(opts.threads, n);
+    par::WorkerPool::scoped(workers, |pool| mtx_pooled(g, opts, rank, pool))
+}
+
+/// The pooled `mtx-SR` pipeline: factorize, iterate in rank space, and
+/// densify the triangle, all sweeps dispatched on one pool.
+fn mtx_pooled(
+    g: &DiGraph,
+    opts: &SimRankOptions,
+    rank: Option<usize>,
+    pool: &mut par::WorkerPool<'_>,
 ) -> (SimMatrix, Report) {
     let n = g.node_count();
     let c = opts.damping;
@@ -40,14 +82,15 @@ pub fn mtx_simrank_with_report(
 
     // --- Factorization phase (the analogue of "Build MST" in Fig. 6b). ---
     let q_dense = CsrMatrix::backward_transition(g).to_dense();
-    let svd = Svd::compute(&q_dense);
+    let svd = Svd::compute_with(&q_dense, pool);
     let r = rank.unwrap_or_else(|| svd.rank(1e-10)).max(1).min(n);
     let svd = svd.truncate(r);
     let factorize = timer.lap();
 
     // --- Rank-space iteration. ---
     let u = &svd.u; // n × r
-    let w = svd.v.transpose().matmul(u); // r × r
+    let w = svd.v.transpose_with(pool).matmul_with(u, pool); // r × r
+    let wt = w.transpose_with(pool);
     let sigma = &svd.sigma;
     // N₁ = Σ²; M = Σᵢ Cⁱ·Nᵢ.
     let mut n_i = DenseMatrix::from_fn(r, r, |i, j| if i == j { sigma[i] * sigma[i] } else { 0.0 });
@@ -56,33 +99,54 @@ pub fn mtx_simrank_with_report(
     for _ in 0..k_max {
         m.add_assign_scaled(&n_i, coef);
         // N_{i+1} = Σ·W·Nᵢ·Wᵀ·Σ.
-        let wn = w.matmul(&n_i);
-        let wnwt = wn.matmul(&w.transpose());
+        let wn = w.matmul_with(&n_i, pool);
+        let wnwt = wn.matmul_with(&wt, pool);
         n_i = DenseMatrix::from_fn(r, r, |i, j| sigma[i] * wnwt.get(i, j) * sigma[j]);
         coef *= c;
     }
-    // S = (1−C)·(I + U·M·Uᵀ) — densifies.
-    let um = u.matmul(&m);
-    let umut = um.matmul(&u.transpose());
+    // S = (1−C)·(I + U·Ms·Uᵀ) with Ms = (M + Mᵀ)/2 — the exact-arithmetic
+    // value of the historical two-sided average ½(U·M·Uᵀ + (U·M·Uᵀ)ᵀ),
+    // symmetrized once in the cheap r × r space. The densification is then
+    // *triangular*: S is symmetric, so only unordered pairs `b ≥ a` are
+    // evaluated (each a length-r dot product, half the arithmetic of
+    // forming the square product) and written straight into the packed
+    // triangle — pair (a, b ≥ a) lives in packed row `b`, so sharding by
+    // triangular packed-row weights hands workers disjoint contiguous
+    // slices.
+    let ms = DenseMatrix::from_fn(r, r, |i, j| 0.5 * (m.get(i, j) + m.get(j, i)));
+    let gm = u.matmul_with(&ms, pool); // n × r
     let mut out = SimMatrix::zeros(n);
-    for a in 0..n {
-        for b in a..n {
-            let base = if a == b { 1.0 } else { 0.0 };
-            out.set(
-                a,
-                b,
-                (1.0 - c) * (base + 0.5 * (umut.get(a, b) + umut.get(b, a))),
-            );
+    let row_weights: Vec<usize> = (1..=n).collect(); // packed row b holds b + 1 entries
+    let bands = par::weighted_blocks(&row_weights, pool.workers());
+    let items: Vec<_> = bands
+        .iter()
+        .cloned()
+        .zip(out.packed_row_bands_mut(&bands))
+        .collect();
+    pool.sweep(items, |(band, slice), _counter| {
+        let mut idx = 0usize;
+        for b in band {
+            let u_row = u.row(b);
+            for a in 0..=b {
+                let g_row = gm.row(a);
+                let mut dot = 0.0;
+                for k in 0..g_row.len() {
+                    dot += g_row[k] * u_row[k];
+                }
+                let base = if a == b { 1.0 } else { 0.0 };
+                slice[idx] = (1.0 - c) * (base + dot);
+                idx += 1;
+            }
         }
-    }
+    });
     let iterate = timer.lap();
 
     let report = Report {
         iterations: k_max,
         mst_build: factorize, // the precomputation phase
         share_sums: iterate,
-        // Dense intermediates: Q dense, U, V, N, M, U·M·Uᵀ ≈ 3n² + O(nr).
-        peak_intermediate_bytes: (3 * n * n + 2 * n * r + 3 * r * r) * 8,
+        peak_intermediate_bytes: model_peak_bytes(n, r),
+        workers: pool.workers(),
         ..Default::default()
     };
     (out, report)
@@ -154,5 +218,39 @@ mod tests {
         let opts = SimRankOptions::default().with_iterations(5);
         let (_, r) = mtx_simrank_with_report(&g, &opts, None);
         assert!(r.peak_intermediate_bytes >= 3 * 9 * 9 * 8);
+    }
+
+    #[test]
+    fn parallel_mtx_is_bit_identical_and_reports_workers() {
+        // The SVD tournament, the banded matmuls, and the triangular
+        // densification all run the exact sequential arithmetic on
+        // disjoint outputs: every thread count reproduces threads = 1
+        // bit-for-bit, and the pool width lands in the report.
+        let g = gen::gnm(30, 110, 5);
+        let opts = SimRankOptions::default()
+            .with_damping(0.6)
+            .with_iterations(12);
+        let (base, r1) = mtx_simrank_with_report(&g, &opts.with_threads(1), None);
+        assert_eq!(r1.workers, 1);
+        for t in [2usize, 4, 8] {
+            let (s, rt) = mtx_simrank_with_report(&g, &opts.with_threads(t), None);
+            assert_eq!(base.max_abs_diff(&s), 0.0, "threads={t} diverged");
+            assert_eq!(rt.workers, t.min(g.node_count()));
+        }
+    }
+
+    #[test]
+    fn empty_and_rank_edge_graphs_degenerate_cleanly() {
+        // Regression for the empty-SVD fix: n = 0 must flow through the
+        // whole pipeline (empty factors, rank clamping, empty packed
+        // result) without building degenerate buffers, and explicit ranks
+        // past the factorization width must clamp instead of panicking.
+        let empty = DiGraph::from_edges(0, []).unwrap();
+        let opts = SimRankOptions::default().with_iterations(4);
+        assert_eq!(mtx_simrank(&empty, &opts, None).order(), 0);
+        assert_eq!(mtx_simrank(&empty, &opts, Some(1)).order(), 0);
+        let single = DiGraph::from_edges(1, []).unwrap();
+        let s = mtx_simrank(&single, &opts, Some(5)); // rank > n clamps
+        assert!((s.get(0, 0) - (1.0 - opts.damping)).abs() < 1e-12);
     }
 }

@@ -194,7 +194,8 @@ fn half_pass(
     // SAFETY (RowWriter): within one pass every source is emitted exactly
     // once and workers own disjoint segment sets, so each row of `next`
     // is touched by exactly one worker.
-    let writer = par::RowWriter::new(next);
+    let n = next.order();
+    let writer = par::RowWriter::new(next.data_mut(), n.max(1));
     let items: Vec<_> = shares.iter().zip(states.iter_mut()).collect();
     pool.sweep(items, |(share, state), counter| {
         for &seg in share.iter() {

@@ -7,6 +7,7 @@ use simrank_core::{
     dsr::oip_dsr_simrank,
     matrixform,
     montecarlo::Fingerprints,
+    mtx::mtx_simrank_with_report,
     naive::{naive_simrank, naive_simrank_with_report},
     oip::{oip_simrank, oip_simrank_with_report},
     prank::{prank_with_report, PRankOptions},
@@ -287,6 +288,33 @@ proptest! {
             let ranked = fp.top_k_batch_with_threads(0.6, &sources, n, 5, nz(t));
             prop_assert_eq!(&ranked, &ranked1, "top-k diverged at threads={}", t);
         }
+    }
+
+    /// Determinism contract for `mtx-SR`, the last algorithm to join the
+    /// pooled surface: the Jacobi SVD's tournament rounds rotate disjoint
+    /// column pairs, the banded matmuls run the exact sequential per-row
+    /// kernel, and the triangular densification writes disjoint packed
+    /// rows — so the scores (and the reported pool width) are bit-for-bit
+    /// thread-invariant end-to-end.
+    #[test]
+    fn parallel_mtx_matches_single_thread(
+        g in arb_graph(),
+        k in 1u32..6,
+        c in 0.2f64..0.9,
+        t in 2usize..9,
+    ) {
+        let opts = SimRankOptions::default().with_damping(c).with_iterations(k);
+        let (s1, r1) = mtx_simrank_with_report(&g, &opts.with_threads(1), None);
+        prop_assert_eq!(r1.workers, 1);
+        let (st, rt) = mtx_simrank_with_report(&g, &opts.with_threads(t), None);
+        prop_assert_eq!(s1.max_abs_diff(&st), 0.0, "threads={} diverged", t);
+        prop_assert_eq!(rt.workers, t.min(g.node_count()));
+        // Truncated factorizations shard the same kernels: the low-rank
+        // path must be just as deterministic as the full-rank one.
+        let r = (g.node_count() / 2).max(1);
+        let (t1, _) = mtx_simrank_with_report(&g, &opts.with_threads(1), Some(r));
+        let (tt, _) = mtx_simrank_with_report(&g, &opts.with_threads(t), Some(r));
+        prop_assert_eq!(t1.max_abs_diff(&tt), 0.0, "rank={} threads={} diverged", r, t);
     }
 
     /// Determinism contract for plan construction: the sharded candidate-

@@ -1,5 +1,6 @@
 //! Row-major dense `f64` matrices.
 
+use simrank_par::{blocks, RowWriter, WorkerPool};
 use std::fmt;
 
 /// A dense row-major matrix of `f64`.
@@ -97,6 +98,22 @@ impl DenseMatrix {
         &self.data
     }
 
+    /// One output row of the product: `out_row[j] = self_row · btᵀ_row(j)`.
+    /// Shared by the sequential and pooled matmuls so `threads = N` runs
+    /// exactly the single-threaded per-row arithmetic — the determinism
+    /// contract is structural, not numerical.
+    #[inline]
+    fn matmul_row(a_row: &[f64], bt: &DenseMatrix, out_row: &mut [f64]) {
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = bt.row(j);
+            let mut acc = 0.0;
+            for k in 0..a_row.len() {
+                acc += a_row[k] * b_row[k];
+            }
+            *o = acc;
+        }
+    }
+
     /// Matrix product `self · other` with a transposed-operand inner loop
     /// (better cache behaviour than the naive ijk order).
     pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
@@ -104,17 +121,32 @@ impl DenseMatrix {
         let bt = other.transpose();
         let mut out = DenseMatrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = bt.row(j);
-                let mut acc = 0.0;
-                for k in 0..a_row.len() {
-                    acc += a_row[k] * b_row[k];
-                }
-                *o = acc;
-            }
+            Self::matmul_row(self.row(i), &bt, out.row_mut(i));
         }
+        out
+    }
+
+    /// Matrix product `self · other` sharded by contiguous output-row
+    /// bands across the worker pool. Each worker runs the exact
+    /// single-threaded per-row kernel on disjoint rows, so the product is
+    /// **bit-for-bit identical** to [`DenseMatrix::matmul`] at every
+    /// thread count.
+    pub fn matmul_with(&self, other: &DenseMatrix, pool: &mut WorkerPool<'_>) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        if pool.workers() == 1 || self.rows < 2 || other.cols == 0 {
+            return self.matmul(other);
+        }
+        let bt = other.transpose_with(pool);
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        let bands = blocks(self.rows, pool.workers());
+        // SAFETY (RowWriter): the bands tile 0..rows disjointly, so each
+        // output row is written by exactly one worker.
+        let writer = RowWriter::new(&mut out.data, other.cols);
+        pool.sweep(bands, |rows, _counter| {
+            for i in rows {
+                Self::matmul_row(self.row(i), &bt, unsafe { writer.row_mut(i) });
+            }
+        });
         out
     }
 
@@ -126,6 +158,31 @@ impl DenseMatrix {
                 out.data[j * self.rows + i] = self.data[i * self.cols + j];
             }
         }
+        out
+    }
+
+    /// Transposed copy sharded by contiguous output-row bands (columns of
+    /// `self`) across the worker pool. A transpose is a pure permutation
+    /// copy, so the result is trivially identical at every thread count;
+    /// sharding it keeps the pooled matmul's operand preparation off the
+    /// single-thread critical path.
+    pub fn transpose_with(&self, pool: &mut WorkerPool<'_>) -> DenseMatrix {
+        if pool.workers() == 1 || self.cols < 2 || self.rows == 0 {
+            return self.transpose();
+        }
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        let bands = blocks(self.cols, pool.workers());
+        // SAFETY (RowWriter): the bands tile 0..cols disjointly, so each
+        // output row (a column of `self`) is written by exactly one worker.
+        let writer = RowWriter::new(&mut out.data, self.rows);
+        pool.sweep(bands, |cols, _counter| {
+            for j in cols {
+                let out_row = unsafe { writer.row_mut(j) };
+                for (i, o) in out_row.iter_mut().enumerate() {
+                    *o = self.data[i * self.cols + j];
+                }
+            }
+        });
         out
     }
 
@@ -254,6 +311,41 @@ mod tests {
         assert!(a.is_symmetric(0.2));
         let r = DenseMatrix::zeros(2, 3);
         assert!(!r.is_symmetric(1.0));
+    }
+
+    #[test]
+    fn parallel_matmul_and_transpose_are_bit_identical() {
+        let a = DenseMatrix::from_fn(13, 7, |i, j| {
+            ((i * 31 + j * 17 + 3) % 23) as f64 / 7.0 - 1.0
+        });
+        let b = DenseMatrix::from_fn(7, 11, |i, j| {
+            ((i * 13 + j * 29 + 5) % 19) as f64 / 5.0 - 1.5
+        });
+        let seq_prod = a.matmul(&b);
+        let seq_t = a.transpose();
+        for workers in [1usize, 2, 3, 4, 8] {
+            WorkerPool::scoped(workers, |pool| {
+                assert_eq!(
+                    a.matmul_with(&b, pool),
+                    seq_prod,
+                    "matmul workers={workers}"
+                );
+                assert_eq!(a.transpose_with(pool), seq_t, "transpose workers={workers}");
+            });
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_handles_degenerate_shapes() {
+        let empty = DenseMatrix::zeros(0, 4);
+        let tall = DenseMatrix::zeros(4, 0);
+        WorkerPool::scoped(4, |pool| {
+            assert_eq!(empty.matmul_with(&tall, pool), DenseMatrix::zeros(0, 0));
+            assert_eq!(tall.matmul_with(&empty, pool), DenseMatrix::zeros(4, 4));
+            assert_eq!(empty.transpose_with(pool), DenseMatrix::zeros(4, 0));
+            let one = DenseMatrix::from_rows(1, 3, &[1.0, 2.0, 3.0]);
+            assert_eq!(one.transpose_with(pool), one.transpose());
+        });
     }
 
     #[test]

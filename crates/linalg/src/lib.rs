@@ -14,6 +14,16 @@
 //! * [`svd`] — one-sided Jacobi singular value decomposition, the engine of
 //!   the `mtx-SR` baseline (Li et al., EDBT'10) that the paper compares
 //!   against;
+//!
+//! The heavy kernels shard over the workspace's persistent worker-pool
+//! executor (`simrank_par`): [`DenseMatrix::matmul_with`] and
+//! [`DenseMatrix::transpose_with`] split output rows into contiguous
+//! bands, and [`Svd::compute_with`] schedules each Jacobi sweep as a
+//! round-robin tournament of disjoint column-pair rotations. All of them
+//! are **bit-for-bit identical at every thread count** — workers own
+//! disjoint output rows (or columns) and the per-item arithmetic is
+//! exactly the sequential kernel's, so only the interleaving changes
+//! (enforced by the `parallel_*` tests and the CI determinism matrix).
 //! * [`kron`] — Kronecker-product and `vec(·)` helpers mirroring the
 //!   error-bound proof of the paper's Proposition 7 (used by tests to check
 //!   the bound machinery itself).

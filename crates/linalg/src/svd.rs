@@ -6,12 +6,26 @@
 //! and accurate to working precision — ample for the ≤ few-thousand-vertex
 //! matrices this workspace materializes (its `O(n³)` sweeps are in fact the
 //! very cost the paper criticizes `mtx-SR` for).
+//!
+//! # Parallel execution
+//!
+//! Each Jacobi sweep is scheduled as a fixed round-robin tournament
+//! ([`simrank_par::round_robin_rounds`]): `n − 1` rounds of ⌊n/2⌋
+//! **disjoint** column pairs. A rotation touches only its two columns, so
+//! the pairs of a round commute *exactly* — sharding a round across the
+//! worker pool changes nothing but the interleaving, and the factors are
+//! **bit-for-bit identical at every thread count**. Rounds run in a fixed
+//! order (a pure function of `n`), and the off-diagonal convergence
+//! measure is a commutative max, so even the sweep count is
+//! thread-invariant.
 
 // Indexed loops are the natural form for the paired-column rotations below;
 // iterator adaptors would obscure the simultaneous updates.
 #![allow(clippy::needless_range_loop)]
 
 use crate::dense::DenseMatrix;
+use simrank_par::{blocks, round_robin_rounds, RowWriter, WorkerPool};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A (thin) singular value decomposition `A = U · diag(σ) · Vᵀ`.
 #[derive(Clone, Debug)]
@@ -24,67 +38,129 @@ pub struct Svd {
     pub v: DenseMatrix,
 }
 
+/// Applies (or skips) the Jacobi rotation for column pair `(p, q)` of the
+/// working copy `B` (and mirrors it on `V`), recording the rotated
+/// off-diagonal magnitude into `off_bits`.
+///
+/// `bw`/`vw` hand out the **columns** of the column-major buffers (a
+/// column-major matrix is a row-major buffer of its columns).
+fn rotate_pair(bw: &RowWriter<'_>, vw: &RowWriter<'_>, p: usize, q: usize, off_bits: &AtomicU64) {
+    let eps = 1e-14;
+    // SAFETY: within a tournament round every column index appears in at
+    // most one pair, and each pair is processed by exactly one worker, so
+    // columns `p` and `q` are exclusively this call's for its duration.
+    let bp = unsafe { bw.row_mut(p) };
+    let bq = unsafe { bw.row_mut(q) };
+    let (mut app, mut aqq, mut apq) = (0.0f64, 0.0f64, 0.0f64);
+    for i in 0..bp.len() {
+        app += bp[i] * bp[i];
+        aqq += bq[i] * bq[i];
+        apq += bp[i] * bq[i];
+    }
+    if apq.abs() <= eps * (app * aqq).sqrt().max(f64::MIN_POSITIVE) {
+        return;
+    }
+    // Non-negative finite f64 bit patterns order exactly like the floats,
+    // so an atomic max over bits is an exact float max — and max is
+    // commutative, so the merged value is thread-invariant.
+    off_bits.fetch_max(apq.abs().to_bits(), Ordering::Relaxed);
+    // Jacobi rotation angle for the 2x2 Gram block.
+    let tau = (aqq - app) / (2.0 * apq);
+    let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = c * t;
+    for i in 0..bp.len() {
+        let (x, y) = (bp[i], bq[i]);
+        bp[i] = c * x - s * y;
+        bq[i] = s * x + c * y;
+    }
+    let vp = unsafe { vw.row_mut(p) };
+    let vq = unsafe { vw.row_mut(q) };
+    for i in 0..vp.len() {
+        let (x, y) = (vp[i], vq[i]);
+        vp[i] = c * x - s * y;
+        vq[i] = s * x + c * y;
+    }
+}
+
 impl Svd {
-    /// Computes the SVD of `a` by one-sided Jacobi.
+    /// Computes the SVD of `a` by one-sided Jacobi on the calling thread.
     ///
     /// Sweeps rotate column pairs of a working copy `B = A·V` until all
     /// pairs are orthogonal; singular values are then the column norms of
-    /// `B` and `U = B · diag(1/σ)`.
+    /// `B` and `U = B · diag(1/σ)`. Equivalent to [`Svd::compute_with`]
+    /// on a 1-wide pool (and bit-for-bit identical to it at *any* pool
+    /// width — see the module docs).
     pub fn compute(a: &DenseMatrix) -> Svd {
+        WorkerPool::scoped(1, |pool| Svd::compute_with(a, pool))
+    }
+
+    /// Computes the SVD of `a` by one-sided Jacobi, sharding each
+    /// tournament round of disjoint column-pair rotations across the
+    /// worker pool. Factors are **bit-for-bit identical for every worker
+    /// count** — rotations within a round touch disjoint columns and
+    /// therefore commute exactly.
+    ///
+    /// An empty matrix (`m == 0` or `n == 0`) yields an explicit empty
+    /// factorization: `u` is `m × 0`, `sigma` is empty, `v` is `n × 0`.
+    pub fn compute_with(a: &DenseMatrix, pool: &mut WorkerPool<'_>) -> Svd {
         let m = a.rows();
         let n = a.cols();
-        // Column-major working copy of A (columns rotate in place).
-        let mut b: Vec<Vec<f64>> = (0..n)
-            .map(|j| (0..m).map(|i| a.get(i, j)).collect())
-            .collect();
-        let mut v: Vec<Vec<f64>> = (0..n)
-            .map(|j| (0..n).map(|i| if i == j { 1.0 } else { 0.0 }).collect())
-            .collect();
-        let eps = 1e-14;
-        let max_sweeps = 60;
-        for _ in 0..max_sweeps {
-            let mut off = 0.0f64;
-            for p in 0..n {
-                for q in (p + 1)..n {
-                    let (mut app, mut aqq, mut apq) = (0.0, 0.0, 0.0);
-                    for i in 0..m {
-                        app += b[p][i] * b[p][i];
-                        aqq += b[q][i] * b[q][i];
-                        apq += b[p][i] * b[q][i];
-                    }
-                    if apq.abs() <= eps * (app * aqq).sqrt().max(f64::MIN_POSITIVE) {
-                        continue;
-                    }
-                    off = off.max(apq.abs());
-                    // Jacobi rotation angle for the 2x2 Gram block.
-                    let tau = (aqq - app) / (2.0 * apq);
-                    let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
-                    let c = 1.0 / (1.0 + t * t).sqrt();
-                    let s = c * t;
-                    for i in 0..m {
-                        let bp = b[p][i];
-                        let bq = b[q][i];
-                        b[p][i] = c * bp - s * bq;
-                        b[q][i] = s * bp + c * bq;
-                    }
-                    for i in 0..n {
-                        let vp = v[p][i];
-                        let vq = v[q][i];
-                        v[p][i] = c * vp - s * vq;
-                        v[q][i] = s * vp + c * vq;
-                    }
-                }
+        if m == 0 || n == 0 {
+            return Svd {
+                u: DenseMatrix::zeros(m, 0),
+                sigma: Vec::new(),
+                v: DenseMatrix::zeros(n, 0),
+            };
+        }
+        // Column-major working copies: column `j` of `B` lives at
+        // `b[j*m .. (j+1)*m]`, so each column is one contiguous "row" of
+        // the buffer and the disjoint-row writer hands out disjoint
+        // columns.
+        let mut b = vec![0.0f64; n * m];
+        for j in 0..n {
+            for i in 0..m {
+                b[j * m + i] = a.get(i, j);
             }
-            if off < 1e-13 {
+        }
+        let mut v = vec![0.0f64; n * n];
+        for j in 0..n {
+            v[j * n + j] = 1.0;
+        }
+        let max_sweeps = 60;
+        let rounds = round_robin_rounds(n);
+        let off_bits = AtomicU64::new(0);
+        for _ in 0..max_sweeps {
+            off_bits.store(0, Ordering::Relaxed);
+            for round in &rounds {
+                let chunks = blocks(round.len(), pool.workers());
+                // SAFETY (RowWriter): the chunks tile the round's pair
+                // list disjointly and no column appears in two pairs of
+                // one round, so every column is rotated by at most one
+                // worker per sweep generation.
+                let bw = RowWriter::new(&mut b, m);
+                let vw = RowWriter::new(&mut v, n);
+                pool.sweep(chunks, |range, _counter| {
+                    for &(p, q) in &round[range] {
+                        rotate_pair(&bw, &vw, p, q, &off_bits);
+                    }
+                });
+            }
+            if f64::from_bits(off_bits.load(Ordering::Relaxed)) < 1e-13 {
                 break;
             }
         }
         // Extract singular values and sort descending.
-        let mut order: Vec<usize> = (0..n).collect();
-        let norms: Vec<f64> = b
-            .iter()
-            .map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt())
+        let norms: Vec<f64> = (0..n)
+            .map(|j| {
+                b[j * m..(j + 1) * m]
+                    .iter()
+                    .map(|x| x * x)
+                    .sum::<f64>()
+                    .sqrt()
+            })
             .collect();
+        let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("finite norms"));
         let mut u = DenseMatrix::zeros(m, n);
         let mut vv = DenseMatrix::zeros(n, n);
@@ -94,11 +170,11 @@ impl Svd {
             sigma.push(s);
             if s > 0.0 {
                 for i in 0..m {
-                    u.set(i, new_j, b[old_j][i] / s);
+                    u.set(i, new_j, b[old_j * m + i] / s);
                 }
             }
             for i in 0..n {
-                vv.set(i, new_j, v[old_j][i]);
+                vv.set(i, new_j, v[old_j * n + i]);
             }
         }
         Svd { u, sigma, v: vv }
@@ -110,7 +186,8 @@ impl Svd {
         self.sigma.iter().filter(|&&s| s > cutoff).count()
     }
 
-    /// Truncates to the leading `r` singular triplets.
+    /// Truncates to the leading `r` singular triplets (clamped to the
+    /// stored count, so `r` past the factorization's width is safe).
     pub fn truncate(&self, r: usize) -> Svd {
         let r = r.min(self.sigma.len());
         let m = self.u.rows();
@@ -214,5 +291,40 @@ mod tests {
         assert!((svd.sigma[0] - 2.0).abs() < 1e-12);
         assert!((svd.sigma[1] - 1.0).abs() < 1e-12);
         assert!(svd.reconstruct().max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrices_yield_explicit_empty_svd() {
+        // Regression: 0×0 and 0-column inputs used to build degenerate
+        // working vectors; they must produce an explicit empty
+        // factorization instead.
+        for (m, n) in [(0usize, 0usize), (0, 3), (3, 0)] {
+            let svd = Svd::compute(&DenseMatrix::zeros(m, n));
+            assert_eq!(svd.sigma.len(), 0, "{m}x{n}");
+            assert_eq!((svd.u.rows(), svd.u.cols()), (m, 0), "{m}x{n}");
+            assert_eq!((svd.v.rows(), svd.v.cols()), (n, 0), "{m}x{n}");
+            assert_eq!(svd.rank(1e-10), 0, "{m}x{n}");
+            // Truncation edges on the empty factorization are safe no-ops.
+            assert_eq!(svd.truncate(1).sigma.len(), 0, "{m}x{n}");
+            assert_eq!(svd.truncate(n + 1).sigma.len(), 0, "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn parallel_factors_are_bit_identical() {
+        // The tournament schedule makes the whole factorization — U, σ, V,
+        // and even the sweep count — a pure function of the input, so any
+        // pool width reproduces the 1-thread factors exactly.
+        let a = DenseMatrix::from_fn(10, 8, |i, j| {
+            let x = (i * 37 + j * 11 + 5) % 29;
+            (x as f64) / 29.0 - 0.5
+        });
+        let base = Svd::compute(&a);
+        for workers in [2usize, 3, 4, 8] {
+            let svd = WorkerPool::scoped(workers, |pool| Svd::compute_with(&a, pool));
+            assert_eq!(svd.u, base.u, "U diverged at workers={workers}");
+            assert_eq!(svd.sigma, base.sigma, "σ diverged at workers={workers}");
+            assert_eq!(svd.v, base.v, "V diverged at workers={workers}");
+        }
     }
 }

@@ -1,0 +1,80 @@
+//! Determinism contract of the pooled matrix kernels: `threads = N`
+//! reproduces `threads = 1` **bit-for-bit** for the banded
+//! matmul/transpose and the tournament-scheduled Jacobi SVD.
+//!
+//! These are the `parallel_*` tests the CI determinism matrix runs
+//! explicitly (`cargo test -q -p simrank_linalg parallel`) before the full
+//! suite, so a determinism break in the substrate fails fast and by name.
+
+use proptest::prelude::*;
+use simrank_linalg::{DenseMatrix, Svd};
+use simrank_par::WorkerPool;
+
+/// Strategy: a small dense matrix with entries in [-2, 2].
+fn dense(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix> {
+    proptest::collection::vec(-2.0f64..2.0, rows * cols)
+        .prop_map(move |data| DenseMatrix::from_rows(rows, cols, &data))
+}
+
+proptest! {
+    /// Pooled matmul and transpose shard output rows into contiguous
+    /// bands; each band runs the exact sequential per-row kernel, so the
+    /// product is identical — not merely close — at every pool width.
+    #[test]
+    fn parallel_matmul_bit_identical(a in dense(7, 5), b in dense(5, 6), t in 2usize..9) {
+        let seq = a.matmul(&b);
+        let seq_t = a.transpose();
+        let (pooled, pooled_t) =
+            WorkerPool::scoped(t, |pool| (a.matmul_with(&b, pool), a.transpose_with(pool)));
+        prop_assert_eq!(&pooled, &seq, "matmul diverged at workers={}", t);
+        prop_assert_eq!(&pooled_t, &seq_t, "transpose diverged at workers={}", t);
+    }
+
+    /// The Jacobi tournament schedule is a pure function of the column
+    /// count and rotations within a round touch disjoint columns, so the
+    /// whole factorization — U, σ, V, even the sweep count — is
+    /// bit-for-bit thread-invariant.
+    #[test]
+    fn parallel_svd_factors_bit_identical(a in dense(6, 6), t in 2usize..9) {
+        let base = Svd::compute(&a);
+        let svd = WorkerPool::scoped(t, |pool| Svd::compute_with(&a, pool));
+        prop_assert_eq!(&svd.u, &base.u, "U diverged at workers={}", t);
+        prop_assert_eq!(&svd.sigma, &base.sigma, "sigma diverged at workers={}", t);
+        prop_assert_eq!(&svd.v, &base.v, "V diverged at workers={}", t);
+    }
+
+    /// The pooled SVD still factorizes: reconstruction round-trips on
+    /// rectangular shapes at an arbitrary pool width.
+    #[test]
+    fn parallel_svd_reconstructs(a in dense(6, 4), t in 1usize..9) {
+        let svd = WorkerPool::scoped(t, |pool| Svd::compute_with(&a, pool));
+        prop_assert!(svd.reconstruct().max_abs_diff(&a) < 1e-8);
+    }
+}
+
+/// A long pooled chain (transpose → products → SVD) on one shared pool
+/// matches the sequential chain exactly — the composition property the
+/// `mtx` pipeline relies on.
+#[test]
+fn parallel_pipeline_composition_is_bit_identical() {
+    let a = DenseMatrix::from_fn(12, 9, |i, j| {
+        ((i * 41 + j * 23 + 11) % 31) as f64 / 9.0 - 1.5
+    });
+    let seq = {
+        let at = a.transpose();
+        let g = at.matmul(&a);
+        let svd = Svd::compute(&g);
+        svd.u.matmul(&g).matmul(&svd.v.transpose())
+    };
+    for workers in [1usize, 2, 3, 5, 8] {
+        let pooled = WorkerPool::scoped(workers, |pool| {
+            let at = a.transpose_with(pool);
+            let g = at.matmul_with(&a, pool);
+            let svd = Svd::compute_with(&g, pool);
+            svd.u
+                .matmul_with(&g, pool)
+                .matmul_with(&svd.v.transpose_with(pool), pool)
+        });
+        assert_eq!(pooled, seq, "workers = {workers}");
+    }
+}

@@ -7,6 +7,9 @@
 //!
 //! * [`graph`] — directed-graph substrate (CSR storage, generators, I/O).
 //! * [`linalg`] — dense/sparse matrices and Jacobi SVD.
+//! * [`par`] — the persistent worker-pool executor and sharding
+//!   primitives every parallel path (algorithms *and* matrix kernels)
+//!   runs on.
 //! * [`mst`] — directed minimum spanning arborescence (Chu–Liu/Edmonds).
 //! * [`algo`] — the SimRank algorithms: `naive`, `psum-SR`, `OIP-SR`,
 //!   `OIP-DSR`, `mtx-SR`, plus convergence estimators and extensions.
@@ -27,14 +30,17 @@
 //!
 //! # Parallel execution
 //!
-//! Every algorithm except `mtx` runs on `simrank_core`'s persistent
-//! worker-pool executor (`simrank_core::par::WorkerPool`): the pool is
-//! spawned once per run, workers park between barrier-synchronized
-//! sweeps, and each path shards its natural unit — row bands
-//! (`naive`/`psum`), sharing-tree segments (`oip`/`oip_dsr` and both
-//! `prank` direction passes), per-walk-seeded node bands
-//! (`Fingerprints::sample`), or plan-scan column blocks
-//! (`SharingPlan::build`) — merging instrumentation shards exactly.
+//! **Every** algorithm runs on the workspace's persistent worker-pool
+//! executor (the `simrank_par` crate, re-exported at
+//! `simrank_core::par`): the pool is spawned once per run, workers park
+//! between barrier-synchronized sweeps, and each path shards its natural
+//! unit — row bands (`naive`/`psum`), sharing-tree segments
+//! (`oip`/`oip_dsr` and both `prank` direction passes), per-walk-seeded
+//! node bands (`Fingerprints::sample`), plan-scan column blocks
+//! (`SharingPlan::build`), or, for `mtx`, SVD tournament rounds of
+//! disjoint column-pair rotations plus banded matrix products — merging
+//! instrumentation shards exactly. No single-threaded algorithm path
+//! remains.
 //! `SimRankOptions::with_threads` sets the worker count (default: all
 //! cores); results are bit-for-bit identical for every value, so
 //! parallelism is purely a throughput knob. Independently of threading,
@@ -59,6 +65,7 @@ pub use simrank_eval as eval;
 pub use simrank_graph as graph;
 pub use simrank_linalg as linalg;
 pub use simrank_mst as mst;
+pub use simrank_par as par;
 
 /// Convenient glob-import surface: the types and entry points most programs
 /// need — one name per row of the algorithm table in [`simrank_core`].

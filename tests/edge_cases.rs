@@ -281,6 +281,15 @@ fn adversarial_graphs_are_thread_count_invariant() {
             0.0,
             "{name}: dsr"
         );
+        // mtx routes its SVD, matrix products, and triangular
+        // densification through the same executor: the self-loop /
+        // dangling / isolated structures must not perturb the tournament
+        // schedule's determinism.
+        assert_eq!(
+            mtx_simrank(&g, &single, None).max_abs_diff(&mtx_simrank(&g, &sharded, None)),
+            0.0,
+            "{name}: mtx"
+        );
     }
 }
 
