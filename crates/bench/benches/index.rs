@@ -1,0 +1,74 @@
+//! Criterion microbenchmarks for the index-backed single-source engine.
+//!
+//! Reported as **per-query latency**: the `SimRankIndex` is built once
+//! per group (construction is its own benchmark) and each iteration then
+//! measures one `query`/`top_k` call — the serving-path number a user of
+//! the index cares about — plus the `SRI1` codec round-trip. Results land
+//! in `BENCH_index.json` via the vendored criterion's `BENCH_JSON_DIR`
+//! hook, so the CI bench-smoke job archives them with every other
+//! harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simrank_core::index::SimRankIndex;
+use simrank_core::{persist, SimRankOptions};
+use simrank_datasets as datasets;
+use simrank_graph::NodeId;
+
+const SEED: u64 = datasets::DEFAULT_SEED;
+
+fn graph() -> simrank_graph::DiGraph {
+    datasets::berkstan_like(700, SEED).graph
+}
+
+fn opts() -> SimRankOptions {
+    SimRankOptions::default()
+        .with_damping(0.6)
+        .with_epsilon(1e-4)
+}
+
+/// One-off index construction (the amortized cost queries pay down).
+fn index_build(c: &mut Criterion) {
+    let g = graph();
+    let opts = opts();
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("berkstan700", |b| b.iter(|| SimRankIndex::build(&g, &opts)));
+    group.finish();
+}
+
+/// Per-query latency of the served paths: a full single-source column,
+/// a top-k ranking over it, and a sharded 16-source batch.
+fn index_query(c: &mut Criterion) {
+    let g = graph();
+    let index = SimRankIndex::build(&g, &opts());
+    let sources: Vec<NodeId> = (0..16)
+        .map(|i| (i * 37) % g.node_count() as NodeId)
+        .collect();
+    let mut group = c.benchmark_group("index_query");
+    group.bench_function("single_source", |b| b.iter(|| index.query(11)));
+    group.bench_function("top_k_10", |b| b.iter(|| index.top_k(11, 10)));
+    group.bench_function("batch_16", |b| b.iter(|| index.query_batch(&sources)));
+    group.finish();
+}
+
+/// The `SRI1` persistence codec: serialize and parse-validate-rebuild.
+fn index_codec(c: &mut Criterion) {
+    let index = SimRankIndex::build(&graph(), &opts());
+    let mut encoded = Vec::new();
+    persist::write_index(&index, &mut encoded).expect("encode index");
+    let mut group = c.benchmark_group("index_codec");
+    group.bench_function("write", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            persist::write_index(&index, &mut buf).expect("encode index");
+            buf
+        })
+    });
+    group.bench_function("read", |b| {
+        b.iter(|| persist::read_index(&encoded[..]).expect("decode index"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, index_build, index_query, index_codec);
+criterion_main!(benches);

@@ -1,0 +1,869 @@
+//! Index-backed single-source and top-k SimRank queries.
+//!
+//! Everything else in this crate computes **all pairs** — `O(n²)` memory
+//! and time, the wrong shape for query traffic that asks "who is similar
+//! to *this* vertex?". This module precomputes a SLING-style /
+//! linearized index (Tian & Xiao; Maehara et al., arXiv:1411.7228) and
+//! answers single-source and top-k queries from it in `O(K·(n + m))`
+//! per query, **never materializing an `n × n` matrix** — not during
+//! construction, not during queries.
+//!
+//! # The linearization
+//!
+//! Exact SimRank satisfies the linear fixed point
+//!
+//! ```text
+//! S = C · Q S Qᵀ + D,      D = diag(d),   diag(S) = 1,
+//! ```
+//!
+//! where `Q` is the backward transition matrix (`[Q]_{ij} = 1/|I(i)|`
+//! for `j ∈ I(i)`) and `d` is the *diagonal correction vector* — the
+//! unique diagonal making the unrolled geometric series
+//!
+//! ```text
+//! S = Σ_{k≥0} Cᵏ · Qᵏ D (Qᵀ)ᵏ
+//! ```
+//!
+//! reproduce `diag(S) = 1`. Writing `hₖᵘ = (Qᵀ)ᵏ e_u` for the depth-`k`
+//! reverse-walk (hitting-probability) distribution of vertex `u`, the
+//! diagonal constraint is one linear equation per vertex:
+//!
+//! ```text
+//! Σ_{k=0}^{K} Cᵏ · Σ_j (hₖᵃ[j])² · d_j = 1        for every a.
+//! ```
+//!
+//! Stacking those equations gives a linear system `M·d = 𝟙` with
+//! `M = Σ_k Cᵏ (Qᵏ ∘ Qᵏ)` (`∘` the entrywise square, applied row-wise).
+//! `M` is applied **matrix-free**: one constraint row costs one depth-`K`
+//! reverse walk, so `M·x` and `Mᵀ·x` are each `O(n·K·(n + m))` sweeps and
+//! nothing `n × n` is ever formed.
+//!
+//! `M` is *not* diagonally dominant in general — on a pure directed
+//! `L`-cycle the Jacobi iteration matrix has spectral radius
+//! `Σ_{k=1}^{L−1} Cᵏ / M_aa`, which exceeds 1 already for a 4-cycle at
+//! the paper's default `C = 0.6` — so [`SimRankIndex::build`] solves the
+//! system by **CGLS** (conjugate gradient on the normal equations
+//! `MᵀM·d = Mᵀ𝟙`), which converges monotonically for *every* damping in
+//! `(0, 1)` because the normal system is symmetric positive
+//! (semi-)definite. Each CGLS round applies `M` once and `Mᵀ` once:
+//!
+//! * `M·x` shards per-vertex rows over the [`crate::par::WorkerPool`] —
+//!   disjoint writes, identical per-vertex arithmetic, so the product is
+//!   a pure function of the inputs at any pool width.
+//! * `Mᵀ·x` scatters weighted rows into per-shard accumulators over a
+//!   **fixed** [`TRANSPOSE_SHARDS`]-way vertex partition (independent of
+//!   the worker count) and folds the shards in index order, so its bits
+//!   never depend on scheduling either.
+//!
+//! The result: the whole solve — round count, op count, and every bit of
+//! `d` — is **identical at every thread count**, and per-worker
+//! [`OpCounter`] shards merge exactly like every other path. The solve is
+//! capped at [`MAX_SOLVER_ROUNDS`] rounds and finishes with one true
+//! residual sweep, so [`SimRankIndex::solver_residual`] always reports
+//! `max_a |1 − (S)_{aa}|` of the vector actually stored.
+//!
+//! A query for vertex `u` then evaluates the series column without any
+//! matrix: push `u`'s reverse-walk distributions `h₀..h_K` (`O(K·(n+m))`),
+//! and fold them back through Horner's rule
+//! `r ← d ⊙ hₖ + C · Q r` — `O(K·(n+m))` again, `O(K·n)` transient
+//! memory. At the solver's fixed point the query's own diagonal entry
+//! `r[u]` lands on 1 up to the solver tolerance — a built-in accuracy
+//! probe.
+//!
+//! # Example
+//!
+//! ```
+//! use simrank_core::index::SimRankIndex;
+//! use simrank_core::{naive::naive_simrank, SimRankOptions};
+//! use simrank_graph::fixtures::paper_fig1a;
+//!
+//! let g = paper_fig1a();
+//! let opts = SimRankOptions::default().with_damping(0.6).with_epsilon(1e-4);
+//! let index = SimRankIndex::build(&g, &opts);
+//!
+//! // Index-backed single-source agrees with the exact dense oracle.
+//! let dense = naive_simrank(&g, &opts.with_iterations(25));
+//! let col = index.query(1);
+//! for v in 0..g.node_count() {
+//!     assert!((col[v] - dense.get(1, v)).abs() < 1e-3);
+//! }
+//! // Top-k without ever touching an n×n matrix.
+//! let top = index.top_k(1, 3);
+//! assert_eq!(top.len(), 3);
+//! ```
+
+use crate::instrument::{OpCounter, PhaseTimer, Report};
+use crate::options::SimRankOptions;
+use crate::par;
+use crate::topk;
+use simrank_graph::{DiGraph, NodeId};
+use std::num::NonZeroUsize;
+
+/// Hard cap on diagonal-correction solver rounds. CGLS usually converges
+/// in far fewer (in exact arithmetic it terminates in at most `n` steps,
+/// and the constraint matrix is close to the identity on sparse graphs);
+/// the cap bounds construction time on adversarial inputs, and
+/// [`SimRankIndex::solver_residual`] exposes how converged the index
+/// actually is.
+pub const MAX_SOLVER_ROUNDS: u32 = 256;
+
+/// Fixed shard count for the matrix-free `Mᵀ·x` scatter. The partition is
+/// a function of the vertex count alone — never of the worker count — so
+/// the shard-fold order (ascending shard index) yields bit-identical sums
+/// at every pool width. Also bounds the scatter's transient memory at
+/// `TRANSPOSE_SHARDS · n` doubles.
+pub const TRANSPOSE_SHARDS: usize = 64;
+
+/// A precomputed single-source / top-k SimRank query index: the graph's
+/// backward-transition structure plus the diagonal correction vector of
+/// the SimRank linearization (see the [module docs](self)).
+///
+/// Build with [`SimRankIndex::build`], persist with
+/// [`crate::persist::save_index`] / [`crate::persist::load_index`]
+/// (format `SRI1`), query with [`SimRankIndex::query`] /
+/// [`SimRankIndex::top_k`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimRankIndex {
+    /// The indexed graph (embedded so a persisted index is
+    /// self-contained — serving needs no side channel for the topology).
+    graph: DiGraph,
+    /// `1/|I(v)|` per vertex (`0` for in-degree-0 vertices): the only
+    /// transition weights SimRank's reverse walks need.
+    inv_in: Vec<f64>,
+    /// The diagonal correction vector `d`.
+    diag: Vec<f64>,
+    /// Damping factor `C` the index was built for.
+    damping: f64,
+    /// Series truncation depth `K` (reverse-walk length).
+    depth: u32,
+    /// True constraint residual `max_a |1 − (S)_{aa}|` of `diag` as
+    /// stored (not persisted — a loaded index re-derives the identical
+    /// value with one constraint sweep).
+    residual: f64,
+}
+
+/// One reverse-walk step `next ← Qᵀ·cur`: similarity mass flows from each
+/// vertex to its in-neighbors, scaled by `1/|I(·)|`. Gathered per target
+/// over sorted out-neighbor lists, so the accumulation order is a pure
+/// function of the graph — never of scheduling.
+fn reverse_step(g: &DiGraph, inv_in: &[f64], cur: &[f64], next: &mut [f64]) {
+    for (j, slot) in next.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for &i in g.out_neighbors(j as NodeId) {
+            acc += cur[i as usize] * inv_in[i as usize];
+        }
+        *slot = acc;
+    }
+}
+
+/// One forward step `next ← Q·cur`: row `i` of `Q` averages over `I(i)`.
+fn forward_step(g: &DiGraph, inv_in: &[f64], cur: &[f64], next: &mut [f64]) {
+    for (i, slot) in next.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for &j in g.in_neighbors(i as NodeId) {
+            acc += cur[j as usize];
+        }
+        *slot = acc * inv_in[i];
+    }
+}
+
+/// `1/|I(v)|` per vertex, `0.0` where `I(v)` is empty.
+fn inverse_in_degrees(g: &DiGraph) -> Vec<f64> {
+    (0..g.node_count())
+        .map(|v| {
+            let d = g.in_degree(v as NodeId);
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / d as f64
+            }
+        })
+        .collect()
+}
+
+/// `⟨m_a, x⟩` for constraint row `a` of `M = Σ_k Cᵏ (Qᵏ ∘ Qᵏ)`, computed
+/// matrix-free by walking `h₀..h_K` in the `cur`/`nxt` scratch buffers.
+/// This is the single definition of the row arithmetic — the solver's
+/// `M`-apply sweeps and the residual recompute on index load all run it,
+/// so their values agree bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+fn constraint_row_dot(
+    g: &DiGraph,
+    inv_in: &[f64],
+    c: f64,
+    depth: u32,
+    a: usize,
+    x: &[f64],
+    cur: &mut Vec<f64>,
+    nxt: &mut Vec<f64>,
+    ops: &mut OpCounter,
+) -> f64 {
+    let m_edges = g.edge_count() as u64;
+    cur.fill(0.0);
+    cur[a] = 1.0;
+    // k = 0 term: h₀ = e_a.
+    let mut acc = x[a];
+    let mut ck = 1.0;
+    for _ in 0..depth {
+        reverse_step(g, inv_in, cur, nxt);
+        ck *= c;
+        let mut dot = 0.0;
+        let mut nnz = 0u64;
+        for (j, &h) in nxt.iter().enumerate() {
+            if h != 0.0 {
+                dot += h * h * x[j];
+                nnz += 1;
+            }
+        }
+        acc += ck * dot;
+        ops.add(m_edges + nnz + 1);
+        std::mem::swap(cur, nxt);
+    }
+    acc
+}
+
+/// `acc[j] += weight · m_a[j]` — the `Mᵀ` scatter of one constraint row,
+/// walking the same levels as [`constraint_row_dot`].
+#[allow(clippy::too_many_arguments)]
+fn constraint_row_scatter(
+    g: &DiGraph,
+    inv_in: &[f64],
+    c: f64,
+    depth: u32,
+    a: usize,
+    weight: f64,
+    acc: &mut [f64],
+    cur: &mut Vec<f64>,
+    nxt: &mut Vec<f64>,
+    ops: &mut OpCounter,
+) {
+    let m_edges = g.edge_count() as u64;
+    cur.fill(0.0);
+    cur[a] = 1.0;
+    acc[a] += weight;
+    let mut ck = 1.0;
+    for _ in 0..depth {
+        reverse_step(g, inv_in, cur, nxt);
+        ck *= c;
+        let wck = weight * ck;
+        let mut nnz = 0u64;
+        for (j, &h) in nxt.iter().enumerate() {
+            if h != 0.0 {
+                acc[j] += wck * h * h;
+                nnz += 1;
+            }
+        }
+        ops.add(m_edges + nnz + 1);
+        std::mem::swap(cur, nxt);
+    }
+}
+
+/// `out[a] = ⟨m_a, x⟩` for every vertex — the matrix-free `M·x`, sharded
+/// by contiguous vertex blocks with disjoint per-vertex writes. Returns
+/// the merged add count.
+fn apply_constraint(
+    g: &DiGraph,
+    inv_in: &[f64],
+    c: f64,
+    depth: u32,
+    pool: &mut par::WorkerPool<'_>,
+    x: &[f64],
+    out: &mut [f64],
+) -> u64 {
+    let n = out.len();
+    let row_blocks = par::blocks(n, pool.workers());
+    let mut items = Vec::with_capacity(row_blocks.len());
+    let mut rest: &mut [f64] = out;
+    for rows in &row_blocks {
+        let (chunk, tail) = rest.split_at_mut(rows.len());
+        rest = tail;
+        items.push((rows.clone(), chunk));
+    }
+    pool.sweep(items, |(rows, chunk), ops| {
+        let mut cur = vec![0.0f64; n];
+        let mut nxt = vec![0.0f64; n];
+        for a in rows.clone() {
+            chunk[a - rows.start] =
+                constraint_row_dot(g, inv_in, c, depth, a, x, &mut cur, &mut nxt, ops);
+        }
+    })
+}
+
+/// `out = Mᵀ·x`, matrix-free: rows scatter `x[a]·m_a` into per-shard
+/// accumulators over the fixed [`TRANSPOSE_SHARDS`]-way partition, then
+/// the shards fold in ascending index order — a summation tree that is a
+/// pure function of `n`, so the result is bit-identical at every pool
+/// width. Returns the merged add count.
+fn apply_constraint_transpose(
+    g: &DiGraph,
+    inv_in: &[f64],
+    c: f64,
+    depth: u32,
+    pool: &mut par::WorkerPool<'_>,
+    x: &[f64],
+    out: &mut [f64],
+) -> u64 {
+    let n = out.len();
+    let shards = par::blocks(n, TRANSPOSE_SHARDS.min(n.max(1)));
+    let mut partials: Vec<Vec<f64>> = vec![vec![0.0f64; n]; shards.len()];
+    let items: Vec<_> = shards.iter().cloned().zip(partials.iter_mut()).collect();
+    let adds = pool.sweep(items, |(rows, acc), ops| {
+        let mut cur = vec![0.0f64; n];
+        let mut nxt = vec![0.0f64; n];
+        for a in rows.clone() {
+            // Zero-weight rows contribute nothing; skipping them is a
+            // pure function of the values, so determinism is unaffected.
+            if x[a] != 0.0 {
+                constraint_row_scatter(g, inv_in, c, depth, a, x[a], acc, &mut cur, &mut nxt, ops);
+            }
+        }
+    });
+    out.fill(0.0);
+    for part in &partials {
+        for (slot, &v) in out.iter_mut().zip(part) {
+            *slot += v;
+        }
+    }
+    adds
+}
+
+impl SimRankIndex {
+    /// Builds the index for `g`.
+    ///
+    /// `opts` supplies the damping factor, the worker count, and the
+    /// accuracy target: the series depth is
+    /// [`SimRankOptions::conventional_iterations`] (`⌈log_C ε⌉` unless an
+    /// explicit `K` is set) and the diagonal solve runs until its residual
+    /// drops below `ε·(1 − C)` (or [`MAX_SOLVER_ROUNDS`]).
+    pub fn build(g: &DiGraph, opts: &SimRankOptions) -> SimRankIndex {
+        Self::build_with_report(g, opts).0
+    }
+
+    /// As [`SimRankIndex::build`], also returning instrumentation:
+    /// `iterations` is the CGLS rounds used, `adds` the exact merged
+    /// floating-add count, `workers` the pool width.
+    pub fn build_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimRankIndex, Report) {
+        let n = g.node_count();
+        let c = opts.damping;
+        let depth = opts.conventional_iterations();
+        let tol = (opts.epsilon * (1.0 - c)).max(1e-12);
+        let inv_in = inverse_in_degrees(g);
+        let mut timer = PhaseTimer::start();
+        let mut counter = OpCounter::new();
+        // Start from d = 1−C: exact wherever reverse walks disperse
+        // without revisiting (chains, trees), so the initial residual is
+        // already small on sparse graphs.
+        let mut d = vec![1.0 - c; n];
+        let mut residual = 0.0f64;
+        let mut rounds = 0u32;
+        let workers = par::effective_workers(opts.threads, n);
+        if n > 0 {
+            par::WorkerPool::scoped(workers, |pool| {
+                let mut scratch = vec![0.0f64; n];
+                // r = 𝟙 − M·d.
+                counter.add(apply_constraint(
+                    g,
+                    &inv_in,
+                    c,
+                    depth,
+                    pool,
+                    &d,
+                    &mut scratch,
+                ));
+                let mut r: Vec<f64> = scratch.iter().map(|&v| 1.0 - v).collect();
+                // s = Mᵀ·r; p = s; γ = ‖s‖².
+                let mut s = vec![0.0f64; n];
+                counter.add(apply_constraint_transpose(
+                    g, &inv_in, c, depth, pool, &r, &mut s,
+                ));
+                let mut p = s.clone();
+                let mut gamma: f64 = s.iter().map(|&v| v * v).sum();
+                let mut r_inf = r.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+                // CGLS proper: every scalar below is reduced sequentially
+                // from vectors that are themselves thread-invariant, so
+                // round count and every iterate are too.
+                while rounds < MAX_SOLVER_ROUNDS && r_inf > tol && gamma > 0.0 {
+                    // q = M·p; α = γ / ‖q‖².
+                    counter.add(apply_constraint(
+                        g,
+                        &inv_in,
+                        c,
+                        depth,
+                        pool,
+                        &p,
+                        &mut scratch,
+                    ));
+                    let delta: f64 = scratch.iter().map(|&v| v * v).sum();
+                    if delta == 0.0 {
+                        break;
+                    }
+                    let alpha = gamma / delta;
+                    for (dv, &pv) in d.iter_mut().zip(&p) {
+                        *dv += alpha * pv;
+                    }
+                    for (rv, &qv) in r.iter_mut().zip(&scratch) {
+                        *rv -= alpha * qv;
+                    }
+                    counter.add(2 * n as u64);
+                    // s = Mᵀ·r; β = ‖s_new‖² / ‖s_old‖²; p = s + β·p.
+                    counter.add(apply_constraint_transpose(
+                        g, &inv_in, c, depth, pool, &r, &mut s,
+                    ));
+                    let gamma_next: f64 = s.iter().map(|&v| v * v).sum();
+                    let beta = gamma_next / gamma;
+                    gamma = gamma_next;
+                    for (pv, &sv) in p.iter_mut().zip(&s) {
+                        *pv = sv + beta * *pv;
+                    }
+                    counter.add(n as u64);
+                    r_inf = r.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+                    rounds += 1;
+                }
+                // One true residual sweep of the stored d — bit-identical
+                // to what `from_parts` recomputes when the index is loaded
+                // back, so `solver_residual` always describes the vector
+                // actually served.
+                counter.add(apply_constraint(
+                    g,
+                    &inv_in,
+                    c,
+                    depth,
+                    pool,
+                    &d,
+                    &mut scratch,
+                ));
+                residual = scratch
+                    .iter()
+                    .fold(0.0f64, |acc, &v| acc.max((1.0 - v).abs()));
+            });
+        }
+        let report = Report {
+            iterations: rounds,
+            adds: counter.total(),
+            share_sums: timer.lap(),
+            peak_intermediate_bytes: (TRANSPOSE_SHARDS.min(n.max(1)) + 2 * workers + 5)
+                * n
+                * std::mem::size_of::<f64>(),
+            workers,
+            ..Default::default()
+        };
+        let index = SimRankIndex {
+            graph: g.clone(),
+            inv_in,
+            diag: d,
+            damping: c,
+            depth,
+            residual,
+        };
+        (index, report)
+    }
+
+    /// Reassembles an index from persisted parts, recomputing the derived
+    /// transition weights and the solver residual (one constraint sweep).
+    pub(crate) fn from_parts(
+        graph: DiGraph,
+        diag: Vec<f64>,
+        damping: f64,
+        depth: u32,
+    ) -> SimRankIndex {
+        assert_eq!(graph.node_count(), diag.len(), "diagonal length mismatch");
+        let inv_in = inverse_in_degrees(&graph);
+        let mut index = SimRankIndex {
+            graph,
+            inv_in,
+            diag,
+            damping,
+            depth,
+            residual: 0.0,
+        };
+        index.residual = index.max_constraint_residual();
+        index
+    }
+
+    /// Number of indexed vertices.
+    pub fn order(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// The damping factor `C` the index was built for.
+    pub fn damping(&self) -> f64 {
+        self.damping
+    }
+
+    /// The series truncation depth `K` (reverse-walk length).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The diagonal correction vector `d` (one entry per vertex).
+    pub fn diagonal_correction(&self) -> &[f64] {
+        &self.diag
+    }
+
+    /// The indexed graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// How converged the diagonal solve is: `max_a |1 − (S)_{aa}|` under
+    /// this index's own query semantics. Zero-ish means every query's
+    /// self-similarity lands on 1 to that accuracy.
+    pub fn solver_residual(&self) -> f64 {
+        self.residual
+    }
+
+    /// Evaluates `max_a |1 − ⟨m_a, d⟩|` — the diagonal constraint
+    /// residual of the current `d`, via the same row primitive the solver
+    /// runs (so the value matches a fresh build's bit-for-bit).
+    fn max_constraint_residual(&self) -> f64 {
+        let n = self.order();
+        let mut worst = 0.0f64;
+        let mut cur = vec![0.0f64; n];
+        let mut nxt = vec![0.0f64; n];
+        let mut ops = OpCounter::new();
+        for a in 0..n {
+            let coef = constraint_row_dot(
+                &self.graph,
+                &self.inv_in,
+                self.damping,
+                self.depth,
+                a,
+                &self.diag,
+                &mut cur,
+                &mut nxt,
+                &mut ops,
+            );
+            worst = worst.max((1.0 - coef).abs());
+        }
+        worst
+    }
+
+    /// Single-source query: the full score vector `s(u, ·)` (including
+    /// `s(u, u) ≈ 1`), in `O(K·(n + m))` time and `O(K·n)` transient
+    /// memory — no `n × n` anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u` is not a vertex of the indexed graph.
+    pub fn query(&self, u: NodeId) -> Vec<f64> {
+        let n = self.order();
+        assert!((u as usize) < n, "query vertex {u} out of range for {n}");
+        // Push u's reverse-walk distributions h₀..h_K ...
+        let mut levels: Vec<Vec<f64>> = Vec::with_capacity(self.depth as usize + 1);
+        let mut seed = vec![0.0f64; n];
+        seed[u as usize] = 1.0;
+        levels.push(seed);
+        for _ in 0..self.depth {
+            let mut next = vec![0.0f64; n];
+            reverse_step(
+                &self.graph,
+                &self.inv_in,
+                levels.last().expect("seeded"),
+                &mut next,
+            );
+            levels.push(next);
+        }
+        // ... then fold back with Horner: r ← d ⊙ hₖ + C·Q·r.
+        let mut r: Vec<f64> = levels
+            .pop()
+            .expect("depth+1 levels")
+            .iter()
+            .zip(&self.diag)
+            .map(|(&h, &dv)| h * dv)
+            .collect();
+        let mut tmp = vec![0.0f64; n];
+        while let Some(level) = levels.pop() {
+            forward_step(&self.graph, &self.inv_in, &r, &mut tmp);
+            for ((slot, &h), (&dv, &qr)) in r.iter_mut().zip(&level).zip(self.diag.iter().zip(&tmp))
+            {
+                *slot = h * dv + self.damping * qr;
+            }
+        }
+        r
+    }
+
+    /// The `k` vertices most similar to `u`, descending, ties by
+    /// ascending id, `u` itself excluded — [`topk::top_k_scores`] over a
+    /// single [`SimRankIndex::query`] vector (partial selection, no full
+    /// sort, no matrix).
+    pub fn top_k(&self, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        topk::top_k_scores(&self.query(u), u, k)
+    }
+
+    /// Batched single-source queries at the process-default worker count.
+    pub fn query_batch(&self, sources: &[NodeId]) -> Vec<Vec<f64>> {
+        self.query_batch_with_threads(sources, par::default_workers())
+    }
+
+    /// Batched single-source queries sharded over the pool: each source's
+    /// query runs the exact single-query arithmetic on one worker, so the
+    /// batch is bit-for-bit identical to querying one by one, at every
+    /// thread count.
+    pub fn query_batch_with_threads(
+        &self,
+        sources: &[NodeId],
+        threads: NonZeroUsize,
+    ) -> Vec<Vec<f64>> {
+        let workers = par::effective_workers(threads, sources.len());
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); sources.len()];
+        let blocks = par::blocks(sources.len(), workers);
+        let mut items = Vec::with_capacity(blocks.len());
+        let mut rest: &mut [Vec<f64>] = &mut out;
+        for b in &blocks {
+            let (chunk, tail) = rest.split_at_mut(b.len());
+            rest = tail;
+            items.push((b.clone(), chunk));
+        }
+        par::WorkerPool::scoped(workers, |pool| {
+            pool.sweep(items, |(range, chunk), _counter| {
+                for (slot, &u) in chunk.iter_mut().zip(&sources[range]) {
+                    *slot = self.query(u);
+                }
+            });
+        });
+        out
+    }
+
+    /// Batched top-k at the process-default worker count.
+    pub fn top_k_batch(&self, sources: &[NodeId], k: usize) -> Vec<Vec<(NodeId, f64)>> {
+        self.top_k_batch_with_threads(sources, k, par::default_workers())
+    }
+
+    /// Batched top-k queries sharded over the pool (see
+    /// [`SimRankIndex::query_batch_with_threads`] for the determinism
+    /// contract).
+    pub fn top_k_batch_with_threads(
+        &self,
+        sources: &[NodeId],
+        k: usize,
+        threads: NonZeroUsize,
+    ) -> Vec<Vec<(NodeId, f64)>> {
+        let workers = par::effective_workers(threads, sources.len());
+        let mut out: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); sources.len()];
+        let blocks = par::blocks(sources.len(), workers);
+        let mut items = Vec::with_capacity(blocks.len());
+        let mut rest: &mut [Vec<(NodeId, f64)>] = &mut out;
+        for b in &blocks {
+            let (chunk, tail) = rest.split_at_mut(b.len());
+            rest = tail;
+            items.push((b.clone(), chunk));
+        }
+        par::WorkerPool::scoped(workers, |pool| {
+            pool.sweep(items, |(range, chunk), _counter| {
+                for (slot, &u) in chunk.iter_mut().zip(&sources[range]) {
+                    *slot = self.top_k(u, k);
+                }
+            });
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_simrank;
+    use crate::psum::psum_simrank;
+    use crate::topk;
+    use simrank_graph::fixtures::{paper_fig1a, two_triangles};
+    use simrank_graph::gen;
+
+    fn opts() -> SimRankOptions {
+        SimRankOptions::default()
+            .with_damping(0.6)
+            .with_epsilon(1e-4)
+    }
+
+    /// Dense oracle at depth high enough that truncation error is far
+    /// below the comparison tolerance (C^26/(1−C) ≈ 4e-6 at C = 0.6).
+    fn oracle(g: &DiGraph, opts: &SimRankOptions) -> crate::SimMatrix {
+        naive_simrank(g, &opts.with_iterations(25))
+    }
+
+    #[test]
+    fn index_matches_naive_oracle_on_fixtures() {
+        for g in [paper_fig1a(), two_triangles()] {
+            let opts = opts();
+            let index = SimRankIndex::build(&g, &opts);
+            let dense = oracle(&g, &opts);
+            for u in 0..g.node_count() {
+                let col = index.query(u as NodeId);
+                for v in 0..g.node_count() {
+                    assert!(
+                        (col[v] - dense.get(u, v)).abs() < 1e-3,
+                        "s({u},{v}): index {} vs naive {}",
+                        col[v],
+                        dense.get(u, v)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_matches_psum_on_random_graphs() {
+        for (seed, n, m) in [(3u64, 30usize, 110usize), (11, 24, 60)] {
+            let g = gen::gnm(n, m, seed);
+            let opts = opts();
+            let index = SimRankIndex::build(&g, &opts);
+            let dense = psum_simrank(&g, &opts.with_iterations(25));
+            for u in 0..n {
+                let col = index.query(u as NodeId);
+                for v in 0..n {
+                    assert!(
+                        (col[v] - dense.get(u, v)).abs() < 1e-3,
+                        "seed {seed} s({u},{v}): {} vs {}",
+                        col[v],
+                        dense.get(u, v)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_similarity_lands_on_one() {
+        let g = gen::copying_web_graph(gen::CopyingParams::berkstan_like(50), 7);
+        let index = SimRankIndex::build(&g, &opts());
+        assert!(index.solver_residual() < 1e-4 * (1.0 - 0.6) + 1e-12);
+        for u in (0..50).step_by(7) {
+            let col = index.query(u);
+            assert!(
+                (col[u as usize] - 1.0).abs() < 1e-4,
+                "diag({u}) = {}",
+                col[u as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn solver_converges_on_pure_cycles_where_jacobi_diverges() {
+        // On a pure directed L-cycle the Jacobi iteration matrix for the
+        // diagonal system has spectral radius Σ_{k=1}^{L−1} Cᵏ / M_aa > 1
+        // already for L = 4 at C = 0.6 — the motivating case for solving
+        // via CGLS instead. The exact solution is uniform d = 1 − C
+        // (walks around the cycle never re-meet), and off-diagonal
+        // similarities are exactly zero.
+        for (len, c) in [(4usize, 0.6f64), (5, 0.8), (3, 0.7)] {
+            let edges: Vec<(NodeId, NodeId)> = (0..len)
+                .map(|v| (v as NodeId, ((v + 1) % len) as NodeId))
+                .collect();
+            let g = DiGraph::from_edges(len, edges).unwrap();
+            let o = SimRankOptions::default().with_damping(c).with_epsilon(1e-6);
+            let index = SimRankIndex::build(&g, &o);
+            assert!(
+                index.solver_residual() < 1e-6,
+                "cycle len {len}, C = {c}: residual {}",
+                index.solver_residual()
+            );
+            for &d in index.diagonal_correction() {
+                assert!((d - (1.0 - c)).abs() < 1e-6, "cycle len {len}: d = {d}");
+            }
+            let col = index.query(0);
+            assert!((col[0] - 1.0).abs() < 1e-6);
+            for &s in &col[1..] {
+                assert!(s.abs() < 1e-6, "off-diagonal on a cycle must vanish: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_and_reports_workers() {
+        let g = gen::gnm(40, 160, 9);
+        let base_opts = opts();
+        let (base, r1) = SimRankIndex::build_with_report(&g, &base_opts.with_threads(1));
+        assert_eq!(r1.workers, 1);
+        assert!(r1.adds > 0, "build must be op-counted");
+        for t in [2usize, 4, 8] {
+            let (idx, rt) = SimRankIndex::build_with_report(&g, &base_opts.with_threads(t));
+            assert_eq!(idx, base, "threads = {t} diverged");
+            assert_eq!(rt.workers, t.min(40));
+            assert_eq!(
+                rt.iterations, r1.iterations,
+                "round count must not depend on threads"
+            );
+            assert_eq!(rt.adds, r1.adds, "op counts must merge exactly");
+        }
+    }
+
+    #[test]
+    fn batch_queries_match_single_queries_at_any_width() {
+        let g = gen::gnm(25, 80, 4);
+        let index = SimRankIndex::build(&g, &opts());
+        let sources: Vec<NodeId> = (0..25).collect();
+        let singles: Vec<Vec<f64>> = sources.iter().map(|&u| index.query(u)).collect();
+        let tops: Vec<_> = sources.iter().map(|&u| index.top_k(u, 5)).collect();
+        for t in [1usize, 2, 4, 8] {
+            let w = NonZeroUsize::new(t).unwrap();
+            assert_eq!(
+                index.query_batch_with_threads(&sources, w),
+                singles,
+                "t = {t}"
+            );
+            assert_eq!(
+                index.top_k_batch_with_threads(&sources, 5, w),
+                tops,
+                "t = {t}"
+            );
+        }
+        assert_eq!(index.query_batch(&sources), singles);
+        assert_eq!(index.top_k_batch(&sources, 5), tops);
+    }
+
+    #[test]
+    fn top_k_is_the_ranking_prefix_and_excludes_the_query() {
+        let g = paper_fig1a();
+        let index = SimRankIndex::build(&g, &opts());
+        let col = index.query(1);
+        let full = topk::rank_scores(&col, 1);
+        for k in [0usize, 1, 3, 8, 20] {
+            let got = index.top_k(1, k);
+            assert_eq!(got, full[..k.min(full.len())].to_vec(), "k = {k}");
+            assert!(got.iter().all(|&(v, _)| v != 1));
+        }
+    }
+
+    #[test]
+    fn degenerate_graphs_build_cleanly() {
+        let empty = DiGraph::from_edges(0, []).unwrap();
+        let index = SimRankIndex::build(&empty, &opts());
+        assert_eq!(index.order(), 0);
+        assert_eq!(index.solver_residual(), 0.0);
+        assert!(index.query_batch(&[]).is_empty());
+
+        // A lone vertex (no edges): s(0, 0) = 1 exactly, d = 1.
+        let lone = DiGraph::from_edges(1, []).unwrap();
+        let index = SimRankIndex::build(&lone, &opts());
+        assert_eq!(index.query(0), vec![1.0]);
+        assert_eq!(index.diagonal_correction(), &[1.0]);
+
+        // Depth 0 truncates the series at S = D, which forces d = 1.
+        let g = paper_fig1a();
+        let shallow = SimRankIndex::build(&g, &opts().with_iterations(0));
+        assert_eq!(shallow.depth(), 0);
+        let col = shallow.query(2);
+        for (v, &s) in col.iter().enumerate() {
+            assert_eq!(s, if v == 2 { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn query_out_of_range_panics() {
+        let index = SimRankIndex::build(&paper_fig1a(), &opts());
+        index.query(99);
+    }
+
+    #[test]
+    fn accessors_expose_build_parameters() {
+        let g = two_triangles();
+        let o = opts().with_iterations(7);
+        let index = SimRankIndex::build(&g, &o);
+        assert_eq!(index.order(), g.node_count());
+        assert_eq!(index.depth(), 7);
+        assert_eq!(index.damping(), 0.6);
+        assert_eq!(index.graph(), &g);
+        assert_eq!(index.diagonal_correction().len(), g.node_count());
+        assert!(index.diagonal_correction().iter().all(|&d| d.is_finite()));
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`mtx::mtx_simrank`] | `mtx-SR` (Li et al.) | SVD baseline, low-rank graphs |
 //! | [`montecarlo`] | Fogaras–Rácz sampling | probabilistic estimator |
 //! | [`prank::prank`] | P-Rank extension | in+out-link generalization |
+//! | [`index::SimRankIndex`] | SLING-style linearized index | `O(K·(n+m))` single-source / top-k queries |
 //!
 //! # Quick example
 //!
@@ -58,6 +59,7 @@ pub mod convergence;
 pub mod dsr;
 pub mod engine;
 pub mod grid;
+pub mod index;
 pub mod instrument;
 pub mod matrix;
 pub mod matrixform;
@@ -75,6 +77,7 @@ pub mod setops;
 pub mod topk;
 
 pub use grid::ScoreGrid;
+pub use index::SimRankIndex;
 pub use instrument::Report;
 pub use matrix::SimMatrix;
 pub use options::{CostModel, SimRankOptions};

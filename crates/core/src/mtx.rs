@@ -81,7 +81,7 @@ fn mtx_pooled(
     let mut timer = PhaseTimer::start();
 
     // --- Factorization phase (the analogue of "Build MST" in Fig. 6b). ---
-    let q_dense = CsrMatrix::backward_transition(g).to_dense();
+    let q_dense = CsrMatrix::backward_transition_with(g, pool).to_dense_with(pool);
     let svd = Svd::compute_with(&q_dense, pool);
     let r = rank.unwrap_or_else(|| svd.rank(1e-10)).max(1).min(n);
     let svd = svd.truncate(r);

@@ -1,17 +1,31 @@
-//! Binary persistence for similarity matrices.
+//! Binary persistence for similarity matrices and query indexes.
 //!
 //! All-pairs SimRank is expensive enough that downstream users cache it;
-//! this codec stores the packed triangle with a versioned header so cached
-//! scores survive process restarts and can be shipped between machines.
-//! Little-endian `f64`s; format:
-//! `magic "SRM1" | order u32 | n(n+1)/2 doubles`.
+//! these codecs store results with versioned headers so caches survive
+//! process restarts and can be shipped between machines. Little-endian
+//! throughout; two formats:
+//!
+//! * **`SRM1`** — a packed-triangle score matrix:
+//!   `magic "SRM1" | order u32 | n(n+1)/2 doubles`
+//!   ([`save_scores`] / [`load_scores`]).
+//! * **`SRI1`** — a self-contained [`SimRankIndex`] (the graph's edge
+//!   list travels with the diagonal correction vector, so serving needs
+//!   no topology side channel):
+//!   `magic "SRI1" | order u32 | depth u32 | edge_count u64 | damping f64
+//!   | m × (from u32, to u32) | n doubles`
+//!   ([`save_index`] / [`load_index`]).
 //!
 //! Every malformed-input path returns a typed [`PersistError`] — wrong
 //! magic, truncated header or payload, trailing bytes, a header order too
-//! large to allocate, and (for files) a size that contradicts the header —
-//! so corrupted caches fail loudly without panicking or aborting.
+//! large to allocate, a file size that contradicts the header, and (for
+//! indexes) semantically invalid contents such as out-of-range edge
+//! endpoints, a damping factor outside `(0, 1)`, or non-finite diagonal
+//! entries — so corrupted caches fail loudly without panicking or
+//! aborting.
 
+use crate::index::SimRankIndex;
 use crate::matrix::SimMatrix;
+use simrank_graph::{DiGraph, NodeId};
 use std::fmt;
 use std::io::{Read, Write};
 use std::path::Path;
@@ -44,6 +58,13 @@ pub enum PersistError {
         /// Bytes actually present.
         actual: u64,
     },
+    /// Structurally well-formed but semantically invalid contents: an
+    /// edge endpoint outside the declared order, a damping factor outside
+    /// `(0, 1)`, or a non-finite diagonal entry.
+    Malformed {
+        /// What was invalid.
+        context: String,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -68,6 +89,9 @@ impl fmt::Display for PersistError {
                     f,
                     "score codec error: expected {expected} bytes from header, found {actual}"
                 )
+            }
+            PersistError::Malformed { context } => {
+                write!(f, "score codec error: malformed {context}")
             }
             PersistError::Io(e) => write!(f, "score I/O error: {e}"),
         }
@@ -188,6 +212,153 @@ pub fn load_scores(path: &Path) -> Result<SimMatrix, PersistError> {
         return Err(PersistError::SizeMismatch { expected, actual });
     }
     read_body(&mut r, n)
+}
+
+const INDEX_MAGIC: [u8; 4] = *b"SRI1";
+/// Index header bytes: magic + order + depth + edge count + damping.
+const INDEX_HEADER_BYTES: u64 = 28;
+
+/// Reads `N` bytes or fails with a [`PersistError::Truncated`] naming
+/// `context`.
+fn read_array<const N: usize, R: Read>(r: &mut R, context: &str) -> Result<[u8; N], PersistError> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)
+        .map_err(|_| PersistError::Truncated {
+            context: context.into(),
+        })?;
+    Ok(buf)
+}
+
+/// Serializes a [`SimRankIndex`] to a writer (format `SRI1`).
+pub fn write_index<W: Write>(index: &SimRankIndex, mut w: W) -> Result<(), PersistError> {
+    let g = index.graph();
+    let n = g.node_count();
+    if n > u32::MAX as usize {
+        return Err(PersistError::OrderTooLarge { order: n as u64 });
+    }
+    w.write_all(&INDEX_MAGIC)?;
+    w.write_all(&(n as u32).to_le_bytes())?;
+    w.write_all(&index.depth().to_le_bytes())?;
+    w.write_all(&(g.edge_count() as u64).to_le_bytes())?;
+    w.write_all(&index.damping().to_le_bytes())?;
+    // Edges stream in the graph's canonical order (sorted by source, then
+    // target — `DiGraph` normalizes on construction), so identical
+    // indexes serialize to identical bytes.
+    for (from, to) in g.edges() {
+        w.write_all(&from.to_le_bytes())?;
+        w.write_all(&to.to_le_bytes())?;
+    }
+    for &d in index.diagonal_correction() {
+        w.write_all(&d.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads and validates an `SRI1` header, returning
+/// `(order, depth, edge count, damping)`.
+fn read_index_header<R: Read>(r: &mut R) -> Result<(usize, u32, u64, f64), PersistError> {
+    let magic: [u8; 4] = read_array(r, "index header")?;
+    if magic != INDEX_MAGIC {
+        return Err(PersistError::BadMagic { found: magic });
+    }
+    let n = u32::from_le_bytes(read_array(r, "index order")?) as usize;
+    let depth = u32::from_le_bytes(read_array(r, "index depth")?);
+    let m = u64::from_le_bytes(read_array(r, "index edge count")?);
+    let damping = f64::from_le_bytes(read_array(r, "index damping")?);
+    // A simple digraph holds at most n² edges (self-loops allowed, multi-
+    // edges deduplicated away), so any larger claim is corruption — and
+    // rejecting it here also bounds the edge-list allocation below.
+    if m > (n as u64).saturating_mul(n as u64) {
+        return Err(PersistError::Malformed {
+            context: format!("edge count {m} exceeds order {n} squared"),
+        });
+    }
+    if !damping.is_finite() || damping <= 0.0 || damping >= 1.0 {
+        return Err(PersistError::Malformed {
+            context: format!("damping {damping} outside (0, 1)"),
+        });
+    }
+    Ok((n, depth, m, damping))
+}
+
+/// Reads the edge list and diagonal vector for a validated header.
+fn read_index_body<R: Read>(
+    r: &mut R,
+    n: usize,
+    depth: u32,
+    m: u64,
+    damping: f64,
+) -> Result<SimRankIndex, PersistError> {
+    // Fallible reservations: a corrupt (but header-consistent) size claim
+    // must become a typed error, never an OOM abort.
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    edges
+        .try_reserve_exact(m as usize)
+        .map_err(|_| PersistError::OrderTooLarge { order: m })?;
+    for e in 0..m {
+        let from = u32::from_le_bytes(read_array(r, &format!("edge {e} source"))?);
+        let to = u32::from_le_bytes(read_array(r, &format!("edge {e} target"))?);
+        edges.push((from, to));
+    }
+    let graph = DiGraph::from_edges(n, edges).map_err(|e| PersistError::Malformed {
+        context: format!("edge list: {e}"),
+    })?;
+    let mut diag: Vec<f64> = Vec::new();
+    diag.try_reserve_exact(n)
+        .map_err(|_| PersistError::OrderTooLarge { order: n as u64 })?;
+    for v in 0..n {
+        let d = f64::from_le_bytes(read_array(r, &format!("diagonal entry {v}"))?);
+        if !d.is_finite() {
+            return Err(PersistError::Malformed {
+                context: format!("non-finite diagonal entry {d} at vertex {v}"),
+            });
+        }
+        diag.push(d);
+    }
+    Ok(SimRankIndex::from_parts(graph, diag, damping, depth))
+}
+
+/// Deserializes a [`SimRankIndex`] from a reader (format `SRI1`).
+pub fn read_index<R: Read>(mut r: R) -> Result<SimRankIndex, PersistError> {
+    let (n, depth, m, damping) = read_index_header(&mut r)?;
+    let out = read_index_body(&mut r, n, depth, m, damping)?;
+    // Reject trailing garbage so corrupted caches fail loudly.
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => Ok(out),
+        _ => Err(PersistError::TrailingBytes),
+    }
+}
+
+/// Saves an index to `path`.
+pub fn save_index(index: &SimRankIndex, path: &Path) -> Result<(), PersistError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write_index(index, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads an index from `path`.
+///
+/// As with [`load_scores`], the file length is checked against the header
+/// *before* the edge list or diagonal is allocated, so a truncated or
+/// padded cache file is rejected without reserving payload memory.
+pub fn load_index(path: &Path) -> Result<SimRankIndex, PersistError> {
+    let file = std::fs::File::open(path)?;
+    let actual = file.metadata()?.len();
+    let mut r = std::io::BufReader::new(file);
+    let (n, depth, m, damping) = read_index_header(&mut r)?;
+    let expected = m
+        .checked_mul(8)
+        .and_then(|edges| (n as u64).checked_mul(8).map(|diag| (edges, diag)))
+        .and_then(|(edges, diag)| edges.checked_add(diag))
+        .and_then(|payload| payload.checked_add(INDEX_HEADER_BYTES))
+        .ok_or(PersistError::OrderTooLarge { order: n as u64 })?;
+    if actual != expected {
+        return Err(PersistError::SizeMismatch { expected, actual });
+    }
+    read_index_body(&mut r, n, depth, m, damping)
 }
 
 #[cfg(test)]
@@ -324,5 +495,185 @@ mod tests {
         let mut buf = Vec::new();
         write_scores(&s, &mut buf).unwrap();
         assert_eq!(read_scores(&buf[..]).unwrap().order(), 0);
+    }
+
+    // --- SRI1: the index codec. ---
+
+    fn sample_index() -> SimRankIndex {
+        SimRankIndex::build(
+            &paper_fig1a(),
+            &SimRankOptions::default()
+                .with_damping(0.6)
+                .with_epsilon(1e-4),
+        )
+    }
+
+    #[test]
+    fn index_round_trip_in_memory_preserves_queries() {
+        let index = sample_index();
+        let mut buf = Vec::new();
+        write_index(&index, &mut buf).unwrap();
+        let back = read_index(&buf[..]).unwrap();
+        // The structural payload round-trips bit-exactly...
+        assert_eq!(back.graph(), index.graph());
+        assert_eq!(back.diagonal_correction(), index.diagonal_correction());
+        assert_eq!(back.depth(), index.depth());
+        assert_eq!(back.damping(), index.damping());
+        assert_eq!(back, index);
+        // ...so every query does too.
+        for u in 0..index.order() as u32 {
+            assert_eq!(back.query(u), index.query(u), "query({u}) drifted");
+            assert_eq!(back.top_k(u, 4), index.top_k(u, 4));
+        }
+    }
+
+    #[test]
+    fn index_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("simrank-persist-test-index");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1a.sri");
+        let index = sample_index();
+        save_index(&index, &path).unwrap();
+        let back = load_index(&path).unwrap();
+        assert_eq!(back, index);
+        assert_eq!(back.query(1), index.query(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn index_rejects_truncation_at_every_byte_boundary() {
+        let index = sample_index();
+        let mut buf = Vec::new();
+        write_index(&index, &mut buf).unwrap();
+        // Every strict prefix must fail typed — never panic, never succeed.
+        for cut in 0..buf.len() {
+            match read_index(&buf[..cut]) {
+                Err(PersistError::Truncated { .. }) => {}
+                other => panic!("prefix of {cut} bytes: expected Truncated, got {other:?}"),
+            }
+        }
+        // And the full buffer still parses.
+        assert_eq!(read_index(&buf[..]).unwrap(), index);
+    }
+
+    #[test]
+    fn index_rejects_bad_magic_and_trailing_bytes() {
+        let index = sample_index();
+        let mut buf = Vec::new();
+        write_index(&index, &mut buf).unwrap();
+        // An SRM1 stream handed to the index reader is a magic mismatch
+        // (and vice versa) — the two formats cannot be confused.
+        let mut scores = Vec::new();
+        write_scores(&sample(), &mut scores).unwrap();
+        assert!(matches!(
+            read_index(&scores[..]),
+            Err(PersistError::BadMagic { found }) if &found == b"SRM1"
+        ));
+        assert!(matches!(
+            read_scores(&buf[..]),
+            Err(PersistError::BadMagic { found }) if &found == b"SRI1"
+        ));
+        let mut flipped = buf.clone();
+        flipped[3] ^= 0x20;
+        assert!(matches!(
+            read_index(&flipped[..]),
+            Err(PersistError::BadMagic { .. })
+        ));
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(matches!(
+            read_index(&long[..]),
+            Err(PersistError::TrailingBytes)
+        ));
+    }
+
+    /// Hand-assembles an SRI1 stream for corruption tests.
+    fn raw_index(n: u32, depth: u32, edges: &[(u32, u32)], damping: f64, diag: &[f64]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SRI1");
+        buf.extend_from_slice(&n.to_le_bytes());
+        buf.extend_from_slice(&depth.to_le_bytes());
+        buf.extend_from_slice(&(edges.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&damping.to_le_bytes());
+        for &(a, b) in edges {
+            buf.extend_from_slice(&a.to_le_bytes());
+            buf.extend_from_slice(&b.to_le_bytes());
+        }
+        for &d in diag {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        buf
+    }
+
+    #[test]
+    fn index_rejects_semantic_corruption() {
+        // Damping outside (0, 1) — including NaN and the closed endpoints.
+        for c in [0.0, 1.0, -0.5, f64::NAN, f64::INFINITY] {
+            let buf = raw_index(2, 3, &[(0, 1)], c, &[0.4, 0.4]);
+            assert!(
+                matches!(read_index(&buf[..]), Err(PersistError::Malformed { context }) if context.contains("damping")),
+                "damping {c} accepted"
+            );
+        }
+        // Edge endpoint outside the declared order.
+        let buf = raw_index(2, 3, &[(0, 7)], 0.6, &[0.4, 0.4]);
+        assert!(matches!(
+            read_index(&buf[..]),
+            Err(PersistError::Malformed { context }) if context.contains("edge list")
+        ));
+        // Non-finite diagonal entry.
+        let buf = raw_index(2, 3, &[(0, 1)], 0.6, &[0.4, f64::NAN]);
+        assert!(matches!(
+            read_index(&buf[..]),
+            Err(PersistError::Malformed { context }) if context.contains("diagonal")
+        ));
+        // Edge count beyond n² — rejected before any allocation.
+        let mut buf = raw_index(2, 3, &[], 0.6, &[]);
+        buf[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            read_index(&buf[..]),
+            Err(PersistError::Malformed { context }) if context.contains("edge count")
+        ));
+    }
+
+    #[test]
+    fn index_load_checks_file_size_before_allocating() {
+        let dir = std::env::temp_dir().join("simrank-persist-test-index-size");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Header promises far more payload than the file holds.
+        let path = dir.join("inflated.sri");
+        let mut buf = raw_index(1000, 3, &[], 0.6, &[]);
+        buf[12..20].copy_from_slice(&500_000u64.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        std::fs::write(&path, &buf).unwrap();
+        assert!(matches!(
+            load_index(&path),
+            Err(PersistError::SizeMismatch { actual: 44, .. })
+        ));
+
+        // A truncated real index file: also a size mismatch.
+        let path2 = dir.join("truncated.sri");
+        let mut full = Vec::new();
+        write_index(&sample_index(), &mut full).unwrap();
+        std::fs::write(&path2, &full[..full.len() - 3]).unwrap();
+        assert!(matches!(
+            load_index(&path2),
+            Err(PersistError::SizeMismatch { .. })
+        ));
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let empty = DiGraph::from_edges(0, []).unwrap();
+        let index = SimRankIndex::build(&empty, &SimRankOptions::default());
+        let mut buf = Vec::new();
+        write_index(&index, &mut buf).unwrap();
+        assert_eq!(buf.len(), INDEX_HEADER_BYTES as usize);
+        let back = read_index(&buf[..]).unwrap();
+        assert_eq!(back.order(), 0);
     }
 }

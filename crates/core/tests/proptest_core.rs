@@ -344,3 +344,75 @@ proptest! {
         prop_assert!((w * w.exp() - x).abs() < 1e-8 * x.max(1.0));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Oracle test for the single-source index on arbitrary graphs and
+    /// dampings: every query column agrees with the exact dense iterate,
+    /// and the solver reports convergence (the CGLS solve must handle the
+    /// cycle-heavy graphs this strategy generates — the case plain Jacobi
+    /// diverges on).
+    #[test]
+    fn index_queries_agree_with_naive(g in arb_graph(), c in 0.3f64..0.8) {
+        let opts = SimRankOptions::default().with_damping(c).with_epsilon(1e-4);
+        let index = simrank_core::index::SimRankIndex::build(&g, &opts);
+        prop_assert!(
+            index.solver_residual() <= 1e-4 * (1.0 - c) + 1e-12,
+            "solver failed to converge: residual {}",
+            index.solver_residual()
+        );
+        let dense = naive_simrank(&g, &opts.with_iterations(30));
+        // Both sides truncate the same geometric tail; allow both
+        // truncations plus the diagonal-solve tolerance.
+        let tol = 2.0 * c.powi(31) / (1.0 - c) + 1e-3;
+        for u in 0..g.node_count() {
+            let col = index.query(u as NodeId);
+            for v in 0..g.node_count() {
+                prop_assert!(
+                    (col[v] - dense.get(u, v)).abs() < tol,
+                    "s({},{}): index {} vs naive {} (tol {})",
+                    u, v, col[v], dense.get(u, v), tol
+                );
+            }
+        }
+    }
+
+    /// Determinism contract for the index engine: construction (CGLS
+    /// rounds, op counts, every bit of the diagonal) and batched queries
+    /// are thread-invariant, and a persisted index round-trips to an
+    /// equal value.
+    #[test]
+    fn parallel_index_thread_invariant_and_round_trips(
+        g in arb_graph(),
+        c in 0.3f64..0.8,
+        t in 2usize..9,
+    ) {
+        let opts = SimRankOptions::default().with_damping(c).with_epsilon(1e-4);
+        let (base, r1) =
+            simrank_core::index::SimRankIndex::build_with_report(&g, &opts.with_threads(1));
+        let (other, rt) =
+            simrank_core::index::SimRankIndex::build_with_report(&g, &opts.with_threads(t));
+        prop_assert_eq!(&other, &base, "index diverged at threads={}", t);
+        prop_assert_eq!(r1.iterations, rt.iterations, "round count diverged");
+        prop_assert_eq!(r1.adds, rt.adds, "op counts diverged");
+        let sources: Vec<NodeId> = (0..g.node_count() as NodeId).collect();
+        let nz = |w: usize| NonZeroUsize::new(w).unwrap();
+        let singles: Vec<Vec<f64>> = sources.iter().map(|&u| base.query(u)).collect();
+        prop_assert_eq!(
+            base.query_batch_with_threads(&sources, nz(t)),
+            singles,
+            "batched queries diverged at threads={}",
+            t
+        );
+        prop_assert_eq!(
+            base.top_k_batch_with_threads(&sources, 4, nz(t)),
+            base.top_k_batch_with_threads(&sources, 4, nz(1)),
+            "batched top-k diverged at threads={}",
+            t
+        );
+        let mut buf = Vec::new();
+        simrank_core::persist::write_index(&base, &mut buf).unwrap();
+        prop_assert_eq!(simrank_core::persist::read_index(&buf[..]).unwrap(), base);
+    }
+}

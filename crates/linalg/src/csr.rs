@@ -1,7 +1,16 @@
 //! Compressed sparse row matrices and the SimRank transition matrix.
+//!
+//! The two materialization paths — building the backward transition
+//! matrix from a graph and densifying a CSR matrix — were the last
+//! unsharded loops in the workspace. Both now shard whole rows across the
+//! shared [`WorkerPool`]: every row is produced by exactly one worker
+//! running the exact sequential per-row arithmetic, so the results are
+//! **bit-for-bit identical for every worker count** (and identical to the
+//! historical single-threaded construction).
 
 use crate::dense::DenseMatrix;
 use simrank_graph::DiGraph;
+use simrank_par::{default_workers, effective_workers, weighted_blocks, RowWriter, WorkerPool};
 
 /// A sparse `f64` matrix in compressed sparse row form.
 #[derive(Clone, Debug, PartialEq)]
@@ -55,20 +64,69 @@ impl CsrMatrix {
     /// The paper's *backward transition matrix* `Q` (Eq. 3):
     /// `[Q]_{ij} = 1/|I(i)|` if there is an edge `j → i`, else 0.
     /// Row `i` of `Q` is supported on the in-neighbor set `I(i)`.
+    ///
+    /// Spins up a scoped pool at the process-default width (see
+    /// [`simrank_par::default_workers`]); iterating callers that already
+    /// hold a pool should use [`CsrMatrix::backward_transition_with`].
     pub fn backward_transition(g: &DiGraph) -> Self {
+        let workers = effective_workers(default_workers(), g.node_count());
+        WorkerPool::scoped(workers, |pool| Self::backward_transition_with(g, pool))
+    }
+
+    /// As [`CsrMatrix::backward_transition`], sharded over an existing
+    /// pool: the row-offset prefix sum is computed up front, so each
+    /// worker fills a disjoint `[row_offsets[start], row_offsets[end])`
+    /// slice of the index/value arrays — no triplet staging, no sort, and
+    /// bit-for-bit the same matrix at every worker count (in-neighbor
+    /// lists are already sorted, which is exactly the per-row column
+    /// order the triplet path produced).
+    pub fn backward_transition_with(g: &DiGraph, pool: &mut WorkerPool<'_>) -> Self {
         let n = g.node_count();
-        let mut triplets = Vec::with_capacity(g.edge_count());
-        for i in g.nodes() {
-            let ins = g.in_neighbors(i);
-            if ins.is_empty() {
-                continue;
-            }
-            let w = 1.0 / ins.len() as f64;
-            for &j in ins {
-                triplets.push((i as usize, j as usize, w));
-            }
+        let mut row_offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            row_offsets[i + 1] = row_offsets[i] + g.in_degree(i as u32);
         }
-        Self::from_triplets(n, n, triplets)
+        let nnz = row_offsets[n];
+        let mut col_indices = vec![0u32; nnz];
+        let mut values = vec![0.0f64; nnz];
+        // Rows weighted by in-degree (+1 so empty rows still count toward
+        // block boundaries), then each block gets the matching disjoint
+        // slices of the column/value arrays.
+        let weights: Vec<usize> = (0..n).map(|i| g.in_degree(i as u32) + 1).collect();
+        let blocks = weighted_blocks(&weights, pool.workers());
+        let mut items = Vec::with_capacity(blocks.len());
+        let mut cols_rest: &mut [u32] = &mut col_indices;
+        let mut vals_rest: &mut [f64] = &mut values;
+        for rows in blocks {
+            let len = row_offsets[rows.end] - row_offsets[rows.start];
+            let (cols_block, cols_tail) = cols_rest.split_at_mut(len);
+            let (vals_block, vals_tail) = vals_rest.split_at_mut(len);
+            cols_rest = cols_tail;
+            vals_rest = vals_tail;
+            items.push((rows, cols_block, vals_block));
+        }
+        pool.sweep(items, |(rows, cols_block, vals_block), _counter| {
+            let mut at = 0usize;
+            for i in rows {
+                let ins = g.in_neighbors(i as u32);
+                if ins.is_empty() {
+                    continue;
+                }
+                let w = 1.0 / ins.len() as f64;
+                for &j in ins {
+                    cols_block[at] = j;
+                    vals_block[at] = w;
+                    at += 1;
+                }
+            }
+        });
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            row_offsets,
+            col_indices,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -116,15 +174,49 @@ impl CsrMatrix {
         CsrMatrix::from_triplets(self.cols, self.rows, triplets)
     }
 
-    /// Densifies (small matrices / tests).
+    /// Densifies the matrix.
+    ///
+    /// Spins up a scoped pool at the process-default width; iterating
+    /// callers that already hold a pool should use
+    /// [`CsrMatrix::to_dense_with`].
     pub fn to_dense(&self) -> DenseMatrix {
+        let workers = effective_workers(default_workers(), self.rows);
+        WorkerPool::scoped(workers, |pool| self.to_dense_with(pool))
+    }
+
+    /// As [`CsrMatrix::to_dense`], sharded over an existing pool: dense
+    /// output rows are disjoint memory, so each worker scatters its row
+    /// block through a [`RowWriter`] with the exact sequential per-row
+    /// stores — bit-for-bit identical at every worker count.
+    pub fn to_dense_with(&self, pool: &mut WorkerPool<'_>) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.rows, self.cols);
-        for i in 0..self.rows {
-            let (cols, vals) = self.row(i);
-            for (&c, &v) in cols.iter().zip(vals) {
-                out.set(i, c as usize, v);
-            }
+        if self.cols == 0 || self.rows == 0 {
+            return out;
         }
+        if pool.workers() == 1 || self.rows < 2 {
+            for i in 0..self.rows {
+                let (cols, vals) = self.row(i);
+                let row = out.row_mut(i);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    row[c as usize] = v;
+                }
+            }
+            return out;
+        }
+        let weights: Vec<usize> = (0..self.rows).map(|i| self.row(i).0.len() + 1).collect();
+        let blocks = weighted_blocks(&weights, pool.workers());
+        // SAFETY (RowWriter): the blocks tile 0..rows disjointly, so each
+        // dense row is written by exactly one worker.
+        let writer = RowWriter::new(out.as_mut_slice(), self.cols);
+        pool.sweep(blocks, |rows, _counter| {
+            for i in rows {
+                let (cols, vals) = self.row(i);
+                let row = unsafe { writer.row_mut(i) };
+                for (&c, &v) in cols.iter().zip(vals) {
+                    row[c as usize] = v;
+                }
+            }
+        });
         out
     }
 
@@ -212,6 +304,61 @@ mod tests {
         assert_eq!(t.get(1, 0), 2.0);
         assert_eq!(t.get(0, 2), -1.0);
         assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn backward_transition_matches_triplet_reference_at_any_width() {
+        // The direct sharded construction must reproduce the historical
+        // triplet-sort path exactly, at every pool width.
+        let g = paper_fig1a();
+        let n = g.node_count();
+        let reference = CsrMatrix::from_triplets(
+            n,
+            n,
+            g.nodes().flat_map(|i| {
+                let ins = g.in_neighbors(i);
+                let w = 1.0 / ins.len().max(1) as f64;
+                ins.iter()
+                    .map(move |&j| (i as usize, j as usize, w))
+                    .collect::<Vec<_>>()
+            }),
+        );
+        assert_eq!(CsrMatrix::backward_transition(&g), reference);
+        for workers in [1usize, 2, 3, 8] {
+            let sharded = WorkerPool::scoped(workers, |pool| {
+                CsrMatrix::backward_transition_with(&g, pool)
+            });
+            assert_eq!(sharded, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn to_dense_thread_invariant() {
+        let g = paper_fig1a();
+        let q = CsrMatrix::backward_transition(&g);
+        let seq = WorkerPool::scoped(1, |pool| q.to_dense_with(pool));
+        for workers in [2usize, 3, 8] {
+            let par = WorkerPool::scoped(workers, |pool| q.to_dense_with(pool));
+            assert_eq!(par.as_slice(), seq.as_slice(), "workers = {workers}");
+        }
+        assert_eq!(q.to_dense().as_slice(), seq.as_slice());
+    }
+
+    #[test]
+    fn degenerate_shapes_materialize() {
+        use simrank_graph::DiGraph;
+        // Empty graph, empty matrix, zero-column matrix.
+        let empty = DiGraph::from_edges(0, []).unwrap();
+        let q = CsrMatrix::backward_transition(&empty);
+        assert_eq!(q.rows(), 0);
+        assert_eq!(q.to_dense().rows(), 0);
+        let zero_cols = CsrMatrix::from_triplets(3, 0, []);
+        let d = zero_cols.to_dense();
+        assert_eq!((d.rows(), d.cols()), (3, 0));
+        // Single node, no edges: one all-zero row.
+        let lone = DiGraph::from_edges(1, []).unwrap();
+        let d = CsrMatrix::backward_transition(&lone).to_dense();
+        assert_eq!(d.get(0, 0), 0.0);
     }
 
     #[test]

@@ -98,6 +98,13 @@ impl DenseMatrix {
         &self.data
     }
 
+    /// Raw mutable data slice (row-major) — what the pooled writers
+    /// outside this module (e.g. the sharded CSR densification) hand to
+    /// [`RowWriter`] to split into disjoint per-worker rows.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// One output row of the product: `out_row[j] = self_row · btᵀ_row(j)`.
     /// Shared by the sequential and pooled matmuls so `threads = N` runs
     /// exactly the single-threaded per-row arithmetic — the determinism

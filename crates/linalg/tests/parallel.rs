@@ -7,7 +7,7 @@
 //! suite, so a determinism break in the substrate fails fast and by name.
 
 use proptest::prelude::*;
-use simrank_linalg::{DenseMatrix, Svd};
+use simrank_linalg::{CsrMatrix, DenseMatrix, Svd};
 use simrank_par::WorkerPool;
 
 /// Strategy: a small dense matrix with entries in [-2, 2].
@@ -76,5 +76,44 @@ fn parallel_pipeline_composition_is_bit_identical() {
                 .matmul_with(&svd.v.transpose_with(pool), pool)
         });
         assert_eq!(pooled, seq, "workers = {workers}");
+    }
+}
+
+/// Strategy: a random digraph as (node count, edge list) — covers empty
+/// graphs, in-degree-0 vertices, self-loops, and duplicate edges (which
+/// `DiGraph` dedups away).
+fn graph() -> impl Strategy<Value = simrank_graph::DiGraph> {
+    (1usize..20).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..60)
+            .prop_map(move |edges| simrank_graph::DiGraph::from_edges(n, edges).unwrap())
+    })
+}
+
+proptest! {
+    /// Sharded CSR materialization — `backward_transition` filling rows
+    /// of `Q` and `to_dense` scattering them — hands each worker disjoint
+    /// row ranges running the exact sequential per-row arithmetic, so
+    /// both the sparse structure and the dense scatter are bit-for-bit
+    /// identical at every pool width (and therefore under any
+    /// `SIMRANK_TEST_THREADS` the CI matrix pins).
+    #[test]
+    fn parallel_csr_materialization_bit_identical(g in graph(), t in 2usize..9) {
+        let (base_q, base_dense) = WorkerPool::scoped(1, |pool| {
+            let q = CsrMatrix::backward_transition_with(&g, pool);
+            let d = q.to_dense_with(pool);
+            (q, d)
+        });
+        let (q, dense) = WorkerPool::scoped(t, |pool| {
+            let q = CsrMatrix::backward_transition_with(&g, pool);
+            let d = q.to_dense_with(pool);
+            (q, d)
+        });
+        prop_assert_eq!(&q, &base_q, "CSR structure diverged at workers={}", t);
+        prop_assert_eq!(&dense, &base_dense, "dense scatter diverged at workers={}", t);
+        // The default-width wrappers resolve their own pool; their output
+        // must land on the same bits regardless of that width.
+        let wrapper = CsrMatrix::backward_transition(&g);
+        prop_assert_eq!(&wrapper, &base_q);
+        prop_assert_eq!(&wrapper.to_dense(), &base_dense);
     }
 }

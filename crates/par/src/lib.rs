@@ -90,6 +90,31 @@ pub fn effective_workers(requested: NonZeroUsize, jobs: usize) -> usize {
     requested.get().min(jobs.max(1))
 }
 
+/// Environment override consulted by [`default_workers`]: set
+/// `SIMRANK_TEST_THREADS=<n>` to pin the default worker count (the CI
+/// determinism matrix runs the whole suite at 1, 2, 4, and 8).
+pub const THREADS_ENV: &str = "SIMRANK_TEST_THREADS";
+
+/// Default worker count: the [`THREADS_ENV`] override when set and valid,
+/// else the machine's available parallelism, else 1. Resolved once per
+/// process — callers consult this in hot loops (every
+/// `SimRankOptions::default()`, every pool-backed convenience wrapper)
+/// and must not pay a getenv + syscall each time.
+pub fn default_workers() -> NonZeroUsize {
+    static DEFAULT: std::sync::OnceLock<NonZeroUsize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(raw) = std::env::var(THREADS_ENV) {
+            match raw.trim().parse::<NonZeroUsize>() {
+                Ok(t) => return t,
+                Err(_) => eprintln!(
+                    "warning: ignoring invalid {THREADS_ENV}={raw:?} (want an integer >= 1)"
+                ),
+            }
+        }
+        std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+    })
+}
+
 /// Partitions `0..len` into at most `workers` contiguous, near-equal
 /// blocks (sizes differ by at most one, larger blocks first). Returns an
 /// empty vector when `len == 0`.

@@ -12,7 +12,9 @@
 //!   runs on.
 //! * [`mst`] — directed minimum spanning arborescence (Chu–Liu/Edmonds).
 //! * [`algo`] — the SimRank algorithms: `naive`, `psum-SR`, `OIP-SR`,
-//!   `OIP-DSR`, `mtx-SR`, plus convergence estimators and extensions.
+//!   `OIP-DSR`, `mtx-SR`, plus convergence estimators, extensions, and
+//!   the index-backed single-source/top-k query engine
+//!   (`simrank_core::index`).
 //! * [`eval`] — ranking metrics (NDCG, Kendall τ, top-k overlap).
 //! * [`datasets`] — simulated stand-ins for the paper's datasets.
 //!
@@ -72,6 +74,7 @@ pub use simrank_par as par;
 pub mod prelude {
     pub use simrank_core::{
         dsr::oip_dsr_simrank,
+        index::SimRankIndex,
         montecarlo::{mc_simrank_pair, Fingerprints},
         mtx::mtx_simrank,
         naive::naive_simrank,

@@ -81,6 +81,12 @@ fn measured_cases() -> Vec<(String, u64)> {
                 .1
                 .adds,
         ));
+        out.push((
+            format!("index/{gname}"),
+            simrank::algo::index::SimRankIndex::build_with_report(&g, &opts)
+                .1
+                .adds,
+        ));
     }
     out
 }
