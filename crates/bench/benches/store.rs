@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks for the pluggable score-storage layer.
+//!
+//! Compares the three [`simrank_core::store::ScoreStore`] backends on the
+//! operations the query layer actually issues: backend construction from
+//! one `mtx-SR` run, point lookups (`get`), whole-row extraction
+//! (`copy_row_into`), top-k ranking, and the `SRL1` low-rank codec.
+//! The graph is kept moderate (an SVD runs inside the build benchmarks)
+//! and results land in `BENCH_store.json` via the vendored criterion's
+//! `BENCH_JSON_DIR` hook, so the CI bench-smoke job archives them with
+//! every other harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simrank_core::store::{LowRankScores, ScoreStore, ThresholdedSparse};
+use simrank_core::{mtx, persist, SimRankOptions};
+use simrank_datasets as datasets;
+
+const SEED: u64 = datasets::DEFAULT_SEED;
+const N: usize = 180;
+const RANK: usize = 24;
+const THETA: f64 = 1e-3;
+
+fn graph() -> simrank_graph::DiGraph {
+    datasets::berkstan_like(N, SEED).graph
+}
+
+fn opts() -> SimRankOptions {
+    SimRankOptions::default()
+        .with_damping(0.6)
+        .with_iterations(8)
+}
+
+/// Constructing each backend from the same factorization work.
+fn store_build(c: &mut Criterion) {
+    let g = graph();
+    let opts = opts();
+    let mut group = c.benchmark_group("store_build");
+    group.sample_size(10);
+    group.bench_function("packed", |b| {
+        b.iter(|| mtx::mtx_simrank(&g, &opts, Some(RANK)))
+    });
+    group.bench_function("low_rank", |b| {
+        b.iter(|| mtx::mtx_simrank_low_rank(&g, &opts, Some(RANK)))
+    });
+    let lr = mtx::mtx_simrank_low_rank(&g, &opts, Some(RANK));
+    group.bench_function("thresholded_from_low_rank", |b| {
+        b.iter(|| ThresholdedSparse::from_store(&lr, THETA))
+    });
+    group.finish();
+}
+
+/// Served-path latency per backend: point lookup, whole row, top-k.
+fn store_query(c: &mut Criterion) {
+    let g = graph();
+    let opts = opts();
+    let packed = mtx::mtx_simrank(&g, &opts, Some(RANK));
+    let lr = mtx::mtx_simrank_low_rank(&g, &opts, Some(RANK));
+    let sparse = ThresholdedSparse::from_store(&lr, THETA);
+    let stores: [(&str, &dyn ScoreStore); 3] = [
+        ("packed", &packed),
+        ("low_rank", &lr),
+        ("thresholded", &sparse),
+    ];
+
+    let mut group = c.benchmark_group("store_get");
+    for (name, s) in stores {
+        group.bench_function(name, |b| b.iter(|| s.get(11, 97)));
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("store_row");
+    let mut row = vec![0.0; N];
+    for (name, s) in stores {
+        group.bench_function(name, |b| b.iter(|| s.copy_row_into(11, &mut row)));
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("store_top_k");
+    for (name, s) in stores {
+        group.bench_function(name, |b| b.iter(|| s.top_k_for(11, 10)));
+    }
+    group.finish();
+}
+
+/// The `SRL1` persistence codec: serialize and parse-validate-rebuild.
+fn store_codec(c: &mut Criterion) {
+    let lr: LowRankScores = mtx::mtx_simrank_low_rank(&graph(), &opts(), Some(RANK));
+    let mut encoded = Vec::new();
+    persist::write_low_rank(&lr, &mut encoded).expect("encode factors");
+    let mut group = c.benchmark_group("store_codec");
+    group.bench_function("write_srl1", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            persist::write_low_rank(&lr, &mut buf).expect("encode factors");
+            buf
+        })
+    });
+    group.bench_function("read_srl1", |b| {
+        b.iter(|| persist::read_low_rank(&encoded[..]).expect("decode factors"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, store_build, store_query, store_codec);
+criterion_main!(benches);

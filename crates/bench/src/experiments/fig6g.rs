@@ -12,6 +12,7 @@
 
 use crate::scale::Scale;
 use crate::table::Table;
+use simrank_core::store::ScoreStore;
 use simrank_core::{convergence, dsr, oip, topk, SimRankOptions};
 use simrank_eval::ndcg_at;
 use simrank_graph::{gen, NodeId};
@@ -47,13 +48,18 @@ pub fn run(scale: Scale, seed: u64) -> Vec<NdcgPoint> {
     let c = 0.6;
     let opts = SimRankOptions::default().with_damping(c).with_epsilon(1e-3);
 
-    // Ground truth: converged conventional SimRank.
+    // Ground truth: converged conventional SimRank. Everything below
+    // reads scores only through the `ScoreStore` query surface, so the
+    // evaluation is backend-agnostic.
     let k_ref = convergence::geometric_iterations(c, 1e-8);
-    let truth = oip::oip_simrank(&g, &opts.with_iterations(k_ref));
+    let truth_m = oip::oip_simrank(&g, &opts.with_iterations(k_ref));
+    let truth: &dyn ScoreStore = &truth_m;
 
     // Evaluated rankings at the working accuracy.
-    let s_oip = oip::oip_simrank(&g, &opts);
-    let s_dsr = dsr::oip_dsr_simrank(&g, &opts);
+    let s_oip_m = oip::oip_simrank(&g, &opts);
+    let s_dsr_m = dsr::oip_dsr_simrank(&g, &opts);
+    let s_oip: &dyn ScoreStore = &s_oip_m;
+    let s_dsr: &dyn ScoreStore = &s_dsr_m;
 
     // Queries: three most prolific authors.
     let mut by_degree: Vec<NodeId> = g.nodes().collect();
@@ -67,7 +73,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<NdcgPoint> {
             let mut acc_oip = 0.0;
             for &q in queries {
                 // Ground-truth rank position of every candidate.
-                let truth_rank = topk::rank_by_similarity(&truth, q);
+                let truth_rank = topk::rank_by_similarity(truth, q);
                 let rank_of = |v: NodeId| -> usize {
                     truth_rank
                         .iter()
@@ -75,8 +81,8 @@ pub fn run(scale: Scale, seed: u64) -> Vec<NdcgPoint> {
                         .unwrap_or(usize::MAX)
                 };
                 let grade = |v: NodeId| grade_for_rank(rank_of(v));
-                let ids_dsr = topk::top_k_ids(&s_dsr, q, p);
-                let ids_oip = topk::top_k_ids(&s_oip, q, p);
+                let ids_dsr = topk::top_k_ids(s_dsr, q, p);
+                let ids_oip = topk::top_k_ids(s_oip, q, p);
                 acc_dsr += ndcg_at(&ids_dsr, grade, p);
                 acc_oip += ndcg_at(&ids_oip, grade, p);
             }

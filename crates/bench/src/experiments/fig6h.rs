@@ -7,6 +7,7 @@
 
 use crate::scale::Scale;
 use crate::table::Table;
+use simrank_core::store::ScoreStore;
 use simrank_core::{dsr, oip, topk, SimRankOptions};
 use simrank_eval::{adjacent_inversions, kendall_tau_distance, top_k_overlap};
 use simrank_graph::{gen, NodeId};
@@ -35,6 +36,15 @@ pub struct Fig6h {
     pub score_spread: f64,
 }
 
+/// Scores of `ids` against `query`, read through one whole-row pass on
+/// any score backend (`copy_row_into` is every backend's cheapest
+/// whole-row path) rather than per-id point lookups.
+fn union_scores(s: &dyn ScoreStore, query: NodeId, ids: &[NodeId]) -> Vec<f64> {
+    let mut row = vec![0.0; s.order()];
+    s.copy_row_into(query as usize, &mut row);
+    ids.iter().map(|&v| row[v as usize]).collect()
+}
+
 /// Runs the top-30 comparison (C = 0.6, ε = 1e-3, DBLP-d11-like).
 pub fn run(scale: Scale, seed: u64) -> Fig6h {
     let n = scale.convergence_nodes();
@@ -46,24 +56,22 @@ pub fn run(scale: Scale, seed: u64) -> Fig6h {
         .nodes()
         .max_by_key(|&v| (g.in_degree(v), std::cmp::Reverse(v)))
         .expect("non-empty graph");
-    let s_dsr = dsr::oip_dsr_simrank(&g, &opts);
-    let s_oip = oip::oip_simrank(&g, &opts);
-    let dsr_ranked = topk::top_k(&s_dsr, query, 30);
-    let oip_ranked = topk::top_k(&s_oip, query, 30);
+    // The ranking and evaluation below only need the `ScoreStore` query
+    // surface, so they run identically over any backend.
+    let s_dsr_m = dsr::oip_dsr_simrank(&g, &opts);
+    let s_oip_m = oip::oip_simrank(&g, &opts);
+    let s_dsr: &dyn ScoreStore = &s_dsr_m;
+    let s_oip: &dyn ScoreStore = &s_oip_m;
+    let dsr_ranked = topk::top_k(s_dsr, query, 30);
+    let oip_ranked = topk::top_k(s_oip, query, 30);
     let dsr_top: Vec<NodeId> = dsr_ranked.iter().map(|&(v, _)| v).collect();
     let oip_top: Vec<NodeId> = oip_ranked.iter().map(|&(v, _)| v).collect();
     // Score correlation over the union of both lists.
     let mut union: Vec<NodeId> = dsr_top.iter().chain(&oip_top).copied().collect();
     union.sort_unstable();
     union.dedup();
-    let dsr_scores: Vec<f64> = union
-        .iter()
-        .map(|&v| s_dsr.get(query as usize, v as usize))
-        .collect();
-    let oip_scores: Vec<f64> = union
-        .iter()
-        .map(|&v| s_oip.get(query as usize, v as usize))
-        .collect();
+    let dsr_scores = union_scores(s_dsr, query, &union);
+    let oip_scores = union_scores(s_oip, query, &union);
     let score_spread = oip_ranked.first().map(|p| p.1).unwrap_or(0.0)
         - oip_ranked.last().map(|p| p.1).unwrap_or(0.0);
     Fig6h {

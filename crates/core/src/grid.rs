@@ -23,12 +23,25 @@ pub struct ScoreGrid {
 }
 
 impl ScoreGrid {
-    /// All-zeros grid.
+    /// All-zeros grid. Panics (with a clear message, not an allocator
+    /// abort) when the square cannot be allocated — the fallible form is
+    /// [`ScoreGrid::try_zeros`].
     pub fn zeros(n: usize) -> Self {
-        ScoreGrid {
-            n,
-            data: vec![0.0; n * n],
-        }
+        Self::try_zeros(n)
+            .unwrap_or_else(|| panic!("cannot allocate a {n} x {n} score grid ({n}² doubles)"))
+    }
+
+    /// Fallible all-zeros constructor: `None` when `n²` overflows `usize`
+    /// or the allocator refuses the square. Mirror of
+    /// [`SimMatrix::try_zeros`] so every dense entry point (whose grids
+    /// route through here) surfaces absurd orders as an error instead of
+    /// aborting.
+    pub fn try_zeros(n: usize) -> Option<Self> {
+        let len = n.checked_mul(n)?;
+        let mut data = Vec::new();
+        data.try_reserve_exact(len).ok()?;
+        data.resize(len, 0.0);
+        Some(ScoreGrid { n, data })
     }
 
     /// Identity grid (`S₀`).
@@ -273,6 +286,22 @@ mod tests {
     fn row_bands_reject_overlap() {
         let mut g = ScoreGrid::zeros(4);
         let _ = g.row_bands_mut(&[0..2, 1..3]);
+    }
+
+    #[test]
+    fn try_zeros_rejects_absurd_orders() {
+        assert!(ScoreGrid::try_zeros(3).is_some());
+        assert_eq!(ScoreGrid::try_zeros(0).unwrap().order(), 0);
+        // n² overflows usize: must fail cleanly, not abort.
+        assert!(ScoreGrid::try_zeros(usize::MAX).is_none());
+        // Fits arithmetic but not the address space.
+        assert!(ScoreGrid::try_zeros(u32::MAX as usize).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot allocate")]
+    fn zeros_panics_with_clear_message_on_overflow() {
+        let _ = ScoreGrid::zeros(usize::MAX);
     }
 
     #[test]

@@ -40,6 +40,15 @@
 //! the paper's figures report (phase timings, addition counts, `d′`, peak
 //! intermediate memory).
 //!
+//! Result storage is pluggable: every algorithm can finalize into any
+//! [`store::ScoreStore`] backend via [`store::simrank_stored`] — the
+//! packed triangle ([`SimMatrix`], default), a low-rank factor handle
+//! that never densifies (`mtx` only, `O(n·r + r²)` resident), or a
+//! thresholded upper-triangle CSR — selected by
+//! [`options::ScoreBackend`] on [`SimRankOptions`]. The ranking layer
+//! ([`topk`]) is generic over the same trait. Low-rank factors persist as
+//! the `SRL1` format ([`persist::save_low_rank`]).
+//!
 //! # Parallel execution
 //!
 //! **Every** algorithm runs on the persistent worker-pool executor (the
@@ -74,11 +83,15 @@ pub mod plan;
 pub mod prank;
 pub mod psum;
 pub mod setops;
+pub mod store;
 pub mod topk;
 
 pub use grid::ScoreGrid;
 pub use index::SimRankIndex;
 pub use instrument::Report;
 pub use matrix::SimMatrix;
-pub use options::{CostModel, SimRankOptions};
+pub use options::{CostModel, ScoreBackend, SimRankOptions};
 pub use plan::SharingPlan;
+pub use store::{
+    simrank_stored, LowRankScores, ScoreStore, StoreAlgo, StoredScores, ThresholdedSparse,
+};

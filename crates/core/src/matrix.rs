@@ -22,12 +22,13 @@ fn tri(i: usize) -> usize {
 }
 
 impl SimMatrix {
-    /// All-zeros matrix.
+    /// All-zeros matrix. Panics (with a clear message, not an allocator
+    /// abort) when the triangle cannot be allocated — the fallible form
+    /// is [`SimMatrix::try_zeros`].
     pub fn zeros(n: usize) -> Self {
-        SimMatrix {
-            n,
-            data: vec![0.0; tri(n)],
-        }
+        Self::try_zeros(n).unwrap_or_else(|| {
+            panic!("cannot allocate an order-{n} packed score triangle (n(n+1)/2 doubles)")
+        })
     }
 
     /// Fallible all-zeros constructor: `None` when the packed triangle
@@ -121,16 +122,29 @@ impl SimMatrix {
         }
     }
 
-    /// Copies row `x` into `out` (overwrites).
+    /// Copies row `x` into `out` (overwrites) — an *exact* copy of the
+    /// stored bits, not a zero-fill-plus-accumulate (`0.0 + (-0.0)`
+    /// would flip a stored `-0.0` to `+0.0` and perturb `total_cmp`
+    /// rankings downstream). This is the non-allocating row path the
+    /// top-k and eval layers use.
     pub fn copy_row_into(&self, x: usize, out: &mut [f64]) {
-        out.fill(0.0);
-        self.add_row_into(x, out);
+        debug_assert_eq!(out.len(), self.n);
+        let base = tri(x);
+        // y ≤ x: contiguous slice of row x.
+        out[..=x].copy_from_slice(&self.data[base..base + x + 1]);
+        // y > x: entry (y, x) at tri(y) + x; advance tri(y) incrementally.
+        let mut idx = tri(x + 1) + x;
+        for (dy, o) in out[x + 1..].iter_mut().enumerate() {
+            *o = self.data[idx];
+            idx += x + 2 + dy;
+        }
     }
 
-    /// Full row as a fresh vector (query convenience).
+    /// Full row as a fresh vector (query convenience; hot paths use the
+    /// non-allocating [`SimMatrix::copy_row_into`] instead).
     pub fn row(&self, x: usize) -> Vec<f64> {
         let mut out = vec![0.0; self.n];
-        self.add_row_into(x, &mut out);
+        self.copy_row_into(x, &mut out);
         out
     }
 
@@ -276,6 +290,21 @@ mod tests {
         let mut buf = vec![9.0; 3];
         m.copy_row_into(1, &mut buf);
         assert_eq!(buf, vec![0.1, 1.0, 0.2]);
+    }
+
+    #[test]
+    fn copy_row_preserves_negative_zero_bits() {
+        // The exact-copy guarantee: a stored -0.0 must come back as -0.0
+        // (an add-based copy would normalize it to +0.0 and change
+        // total_cmp orderings in the top-k layer).
+        let mut m = SimMatrix::zeros(3);
+        m.set(0, 2, -0.0);
+        m.set(1, 2, 0.0);
+        let mut buf = vec![9.0; 3];
+        m.copy_row_into(2, &mut buf);
+        assert!(buf[0].is_sign_negative(), "-0.0 bit lost");
+        assert!(buf[1].is_sign_positive());
+        assert!(m.row(2)[0].is_sign_negative());
     }
 
     #[test]

@@ -31,8 +31,10 @@ use crate::instrument::{PhaseTimer, Report};
 use crate::matrix::SimMatrix;
 use crate::options::SimRankOptions;
 use crate::par;
+use crate::store::LowRankScores;
 use simrank_graph::DiGraph;
 use simrank_linalg::{CsrMatrix, DenseMatrix, Svd};
+use std::time::Duration;
 
 /// Closed-form peak-intermediate-memory model for a rank-`r` `mtx-SR`
 /// run on `n` vertices, in bytes: the dense `Q` plus the SVD's working
@@ -67,14 +69,33 @@ pub fn mtx_simrank_with_report(
     par::WorkerPool::scoped(workers, |pool| mtx_pooled(g, opts, rank, pool))
 }
 
-/// The pooled `mtx-SR` pipeline: factorize, iterate in rank space, and
-/// densify the triangle, all sweeps dispatched on one pool.
-fn mtx_pooled(
+/// The shared front half of the `mtx-SR` pipeline: the SVD factorization
+/// plus the rank-space iteration, ending at the symmetrized mixing matrix
+/// `Ms` — everything *before* a serving representation is chosen
+/// (triangular densification here, or the lazy
+/// [`LowRankScores`] handle in [`mtx_simrank_low_rank`]).
+struct MtxFactors {
+    /// Truncated left singular vectors `U`, `n × r`.
+    u: DenseMatrix,
+    /// Symmetrized rank-space mixing matrix `Ms = (M + Mᵀ)/2`, `r × r`.
+    ms: DenseMatrix,
+    /// Effective truncation rank `r`.
+    r: usize,
+    /// Wall time of the factorization phase.
+    factorize: Duration,
+    /// Wall time of the rank-space iteration (through `Ms`).
+    iterate: Duration,
+}
+
+/// Factorizes the transition matrix and runs the rank-space iteration,
+/// all sweeps dispatched on the pool. Bit-for-bit thread-invariant like
+/// every stage it composes.
+fn mtx_factors(
     g: &DiGraph,
     opts: &SimRankOptions,
     rank: Option<usize>,
     pool: &mut par::WorkerPool<'_>,
-) -> (SimMatrix, Report) {
+) -> MtxFactors {
     let n = g.node_count();
     let c = opts.damping;
     let k_max = opts.conventional_iterations();
@@ -106,15 +127,41 @@ fn mtx_pooled(
     }
     // S = (1−C)·(I + U·Ms·Uᵀ) with Ms = (M + Mᵀ)/2 — the exact-arithmetic
     // value of the historical two-sided average ½(U·M·Uᵀ + (U·M·Uᵀ)ᵀ),
-    // symmetrized once in the cheap r × r space. The densification is then
-    // *triangular*: S is symmetric, so only unordered pairs `b ≥ a` are
-    // evaluated (each a length-r dot product, half the arithmetic of
-    // forming the square product) and written straight into the packed
-    // triangle — pair (a, b ≥ a) lives in packed row `b`, so sharding by
-    // triangular packed-row weights hands workers disjoint contiguous
-    // slices.
+    // symmetrized once in the cheap r × r space.
     let ms = DenseMatrix::from_fn(r, r, |i, j| 0.5 * (m.get(i, j) + m.get(j, i)));
-    let gm = u.matmul_with(&ms, pool); // n × r
+    let iterate = timer.lap();
+    let (u, _sigma, _v) = svd.into_factors();
+    MtxFactors {
+        u,
+        ms,
+        r,
+        factorize,
+        iterate,
+    }
+}
+
+/// The pooled `mtx-SR` pipeline: factorize, iterate in rank space, and
+/// densify the triangle, all sweeps dispatched on one pool.
+fn mtx_pooled(
+    g: &DiGraph,
+    opts: &SimRankOptions,
+    rank: Option<usize>,
+    pool: &mut par::WorkerPool<'_>,
+) -> (SimMatrix, Report) {
+    let n = g.node_count();
+    let c = opts.damping;
+    let k_max = opts.conventional_iterations();
+    let f = mtx_factors(g, opts, rank, pool);
+    let mut timer = PhaseTimer::start();
+    let (u, ms, r) = (&f.u, &f.ms, f.r);
+
+    // The densification is *triangular*: S is symmetric, so only unordered
+    // pairs `b ≥ a` are evaluated (each a length-r dot product, half the
+    // arithmetic of forming the square product) and written straight into
+    // the packed triangle — pair (a, b ≥ a) lives in packed row `b`, so
+    // sharding by triangular packed-row weights hands workers disjoint
+    // contiguous slices.
+    let gm = u.matmul_with(ms, pool); // n × r
     let mut out = SimMatrix::zeros(n);
     let row_weights: Vec<usize> = (1..=n).collect(); // packed row b holds b + 1 entries
     let bands = par::weighted_blocks(&row_weights, pool.workers());
@@ -139,17 +186,58 @@ fn mtx_pooled(
             }
         }
     });
-    let iterate = timer.lap();
+    let densify = timer.lap();
 
     let report = Report {
         iterations: k_max,
-        mst_build: factorize, // the precomputation phase
-        share_sums: iterate,
+        mst_build: f.factorize, // the precomputation phase
+        share_sums: f.iterate + densify,
         peak_intermediate_bytes: model_peak_bytes(n, r),
         workers: pool.workers(),
         ..Default::default()
     };
     (out, report)
+}
+
+/// All-pairs SimRank via `mtx-SR`, served as a [`LowRankScores`] handle —
+/// the **no-densification** variant of [`mtx_simrank`]. The factors stay
+/// in rank space (`O(n·r + r²)` resident score storage), and queries
+/// contract them lazily with the exact densification arithmetic, so every
+/// value matches the dense output bit-for-bit at the same rank.
+pub fn mtx_simrank_low_rank(
+    g: &DiGraph,
+    opts: &SimRankOptions,
+    rank: Option<usize>,
+) -> LowRankScores {
+    mtx_simrank_low_rank_with_report(g, opts, rank).0
+}
+
+/// As [`mtx_simrank_low_rank`], also returning instrumentation. The
+/// reported peak covers the factorization intermediates (the `O(n²)` SVD
+/// working set the paper charges `mtx-SR` for) — only the *result*
+/// storage shrinks to factor size.
+pub fn mtx_simrank_low_rank_with_report(
+    g: &DiGraph,
+    opts: &SimRankOptions,
+    rank: Option<usize>,
+) -> (LowRankScores, Report) {
+    let n = g.node_count();
+    let workers = par::effective_workers(opts.threads, n);
+    par::WorkerPool::scoped(workers, |pool| {
+        let f = mtx_factors(g, opts, rank, pool);
+        let report = Report {
+            iterations: opts.conventional_iterations(),
+            mst_build: f.factorize,
+            share_sums: f.iterate,
+            peak_intermediate_bytes: model_peak_bytes(n, f.r),
+            workers: pool.workers(),
+            ..Default::default()
+        };
+        (
+            LowRankScores::from_parts_with(1.0 - opts.damping, f.u, f.ms, pool),
+            report,
+        )
+    })
 }
 
 #[cfg(test)]

@@ -21,6 +21,14 @@ pub fn naive_simrank(g: &DiGraph, opts: &SimRankOptions) -> SimMatrix {
 
 /// As [`naive_simrank`], also returning instrumentation.
 pub fn naive_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatrix, Report) {
+    let (grid, report) = naive_grid(g, opts);
+    (grid.to_sim_matrix(), report)
+}
+
+/// The iteration body, returning the final full-square grid (authoritative
+/// upper triangle) so the store layer can finalize into any backend
+/// without a second square.
+pub(crate) fn naive_grid(g: &DiGraph, opts: &SimRankOptions) -> (ScoreGrid, Report) {
     let n = g.node_count();
     let k_max = opts.conventional_iterations();
     let c = opts.damping;
@@ -92,7 +100,7 @@ pub fn naive_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatr
         workers,
         ..Default::default()
     };
-    (cur.to_sim_matrix(), report)
+    (cur, report)
 }
 
 #[cfg(test)]

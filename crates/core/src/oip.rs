@@ -24,16 +24,23 @@ pub fn oip_simrank(g: &DiGraph, opts: &SimRankOptions) -> SimMatrix {
 /// As [`oip_simrank`], also returning instrumentation (tree weight, `d′`,
 /// phase timings, addition counts — the measurements behind Fig. 6a–6d).
 pub fn oip_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatrix, Report) {
+    let (grid, report) = oip_grid(g, opts);
+    (grid.to_sim_matrix(), report)
+}
+
+/// Plan build + engine run, returning the final full-square grid
+/// (authoritative upper triangle) so the store layer can finalize into
+/// any backend without a second square.
+pub(crate) fn oip_grid(g: &DiGraph, opts: &SimRankOptions) -> (ScoreGrid, Report) {
     let plan = SharingPlan::build(g, opts);
-    let (grid, report) = engine::run(
+    engine::run(
         g,
         &plan,
         opts,
         Mode::Conventional,
         opts.conventional_iterations(),
         None,
-    );
-    (grid.to_sim_matrix(), report)
+    )
 }
 
 /// Runs `OIP-SR` for exactly `iterations` rounds, invoking `observer` with

@@ -32,6 +32,30 @@ pub enum CostModel {
     SymDiffOnly,
 }
 
+/// Which score-storage backend a run finalizes its result into (see
+/// [`crate::store`] for the trait and the backend types).
+///
+/// The default, [`ScoreBackend::Packed`], is the historical packed
+/// triangle and leaves every existing entry point bit-for-bit unchanged.
+/// The alternatives trade exactness of *storage* (never of the kept
+/// values — stored entries are always bit-identical to the packed run)
+/// for memory: low-rank factors (`O(n·r + r²)`, mtx only) or a
+/// thresholded upper-triangle CSR (`O(nnz)`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScoreBackend {
+    /// Packed lower-triangle `n(n+1)/2` dense storage ([`crate::SimMatrix`]).
+    Packed,
+    /// Serve scores straight from the mtx SVD factors — no `n × n`
+    /// materialization. Only the factorization path
+    /// ([`crate::store::StoreAlgo::Mtx`]) can produce this backend.
+    LowRank,
+    /// Upper-triangle CSR keeping only pairs with `|s| ≥ theta`.
+    Thresholded {
+        /// Drop threshold `θ ≥ 0`; `0` keeps every pair.
+        theta: f64,
+    },
+}
+
 /// Configuration for all SimRank computations.
 ///
 /// Defaults follow the paper's experimental setting: `C = 0.6`,
@@ -72,6 +96,11 @@ pub struct SimRankOptions {
     /// or plan columns) and the per-item arithmetic never changes, only
     /// the interleaving.
     pub threads: NonZeroUsize,
+    /// Score-storage backend the store-aware entry point
+    /// ([`crate::store::simrank_stored`]) finalizes results into. The
+    /// packed default keeps every direct algorithm entry point
+    /// bit-for-bit unchanged.
+    pub backend: ScoreBackend,
 }
 
 impl Default for SimRankOptions {
@@ -86,6 +115,7 @@ impl Default for SimRankOptions {
             cost_model: CostModel::Min,
             use_edmonds: false,
             threads: default_threads(),
+            backend: ScoreBackend::Packed,
         }
     }
 }
@@ -150,6 +180,18 @@ impl SimRankOptions {
         self
     }
 
+    /// Selects the score-storage backend for store-aware entry points.
+    pub fn with_backend(mut self, backend: ScoreBackend) -> Self {
+        if let ScoreBackend::Thresholded { theta } = backend {
+            assert!(
+                theta >= 0.0 && theta.is_finite(),
+                "threshold theta must be finite and ≥ 0, got {theta}"
+            );
+        }
+        self.backend = backend;
+        self
+    }
+
     /// Iterations to run for *conventional* (geometric) SimRank:
     /// the explicit `K`, else the paper's `K = ⌈log_C ε⌉`.
     pub fn conventional_iterations(&self) -> u32 {
@@ -178,6 +220,21 @@ mod tests {
         assert_eq!(o.threshold, None);
         assert!(o.outer_sharing);
         assert_eq!(o.cost_model, CostModel::Min);
+        assert_eq!(o.backend, ScoreBackend::Packed);
+    }
+
+    #[test]
+    fn backend_builder() {
+        let o = SimRankOptions::default().with_backend(ScoreBackend::Thresholded { theta: 0.01 });
+        assert_eq!(o.backend, ScoreBackend::Thresholded { theta: 0.01 });
+        let o = o.with_backend(ScoreBackend::LowRank);
+        assert_eq!(o.backend, ScoreBackend::LowRank);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn rejects_negative_theta() {
+        let _ = SimRankOptions::default().with_backend(ScoreBackend::Thresholded { theta: -0.1 });
     }
 
     #[test]

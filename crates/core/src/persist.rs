@@ -1,9 +1,10 @@
-//! Binary persistence for similarity matrices and query indexes.
+//! Binary persistence for similarity matrices, query indexes, and
+//! low-rank factor handles.
 //!
 //! All-pairs SimRank is expensive enough that downstream users cache it;
 //! these codecs store results with versioned headers so caches survive
 //! process restarts and can be shipped between machines. Little-endian
-//! throughout; two formats:
+//! throughout; three formats:
 //!
 //! * **`SRM1`** — a packed-triangle score matrix:
 //!   `magic "SRM1" | order u32 | n(n+1)/2 doubles`
@@ -14,6 +15,13 @@
 //!   `magic "SRI1" | order u32 | depth u32 | edge_count u64 | damping f64
 //!   | m × (from u32, to u32) | n doubles`
 //!   ([`save_index`] / [`load_index`]).
+//! * **`SRL1`** — a [`LowRankScores`] factor dump (the `O(n·r + r²)`
+//!   mtx result that never densifies; the cached `U·Ms` product is
+//!   recomputed bit-identically on load, so round trips are
+//!   `PartialEq`-exact):
+//!   `magic "SRL1" | order u32 | rank u32 | scale f64
+//!   | n·r doubles (U, row-major) | r·r doubles (Ms, row-major)`
+//!   ([`save_low_rank`] / [`load_low_rank`]).
 //!
 //! Every malformed-input path returns a typed [`PersistError`] — wrong
 //! magic, truncated header or payload, trailing bytes, a header order too
@@ -25,7 +33,9 @@
 
 use crate::index::SimRankIndex;
 use crate::matrix::SimMatrix;
+use crate::store::{LowRankScores, ScoreStore};
 use simrank_graph::{DiGraph, NodeId};
+use simrank_linalg::DenseMatrix;
 use std::fmt;
 use std::io::{Read, Write};
 use std::path::Path;
@@ -361,6 +371,141 @@ pub fn load_index(path: &Path) -> Result<SimRankIndex, PersistError> {
     read_index_body(&mut r, n, depth, m, damping)
 }
 
+const LOW_RANK_MAGIC: [u8; 4] = *b"SRL1";
+/// Low-rank header bytes: magic + order + rank + scale.
+const LOW_RANK_HEADER_BYTES: u64 = 20;
+
+/// Serializes a [`LowRankScores`] factor handle to a writer (format
+/// `SRL1`). Only the defining factors `U` and `Ms` are stored; the cached
+/// `U·Ms` product is rebuilt deterministically on read.
+pub fn write_low_rank<W: Write>(store: &LowRankScores, mut w: W) -> Result<(), PersistError> {
+    let n = store.order();
+    let r = store.rank();
+    if n > u32::MAX as usize || r > u32::MAX as usize {
+        return Err(PersistError::OrderTooLarge { order: n as u64 });
+    }
+    w.write_all(&LOW_RANK_MAGIC)?;
+    w.write_all(&(n as u32).to_le_bytes())?;
+    w.write_all(&(r as u32).to_le_bytes())?;
+    w.write_all(&store.scale().to_le_bytes())?;
+    for &v in store.factor_u().as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    for &v in store.mixing().as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads and validates an `SRL1` header, returning `(order, rank, scale)`.
+fn read_low_rank_header<R: Read>(r: &mut R) -> Result<(usize, usize, f64), PersistError> {
+    let magic: [u8; 4] = read_array(r, "low-rank header")?;
+    if magic != LOW_RANK_MAGIC {
+        return Err(PersistError::BadMagic { found: magic });
+    }
+    let n = u32::from_le_bytes(read_array(r, "low-rank order")?) as usize;
+    let rank = u32::from_le_bytes(read_array(r, "low-rank rank")?) as usize;
+    let scale = f64::from_le_bytes(read_array(r, "low-rank scale")?);
+    // The factors come from a truncated SVD of an n-column matrix, so a
+    // rank beyond the order is corruption — and rejecting it here also
+    // bounds the factor allocations below.
+    if rank > n {
+        return Err(PersistError::Malformed {
+            context: format!("rank {rank} exceeds order {n}"),
+        });
+    }
+    if !scale.is_finite() || scale <= 0.0 || scale >= 1.0 {
+        return Err(PersistError::Malformed {
+            context: format!("scale {scale} outside (0, 1)"),
+        });
+    }
+    Ok((n, rank, scale))
+}
+
+/// Reads one row-major factor matrix of validated dimensions, rejecting
+/// non-finite entries.
+fn read_factor<R: Read>(
+    r: &mut R,
+    rows: usize,
+    cols: usize,
+    name: &str,
+) -> Result<DenseMatrix, PersistError> {
+    let cells = (rows as u64)
+        .checked_mul(cols as u64)
+        .filter(|&c| c <= usize::MAX as u64)
+        .ok_or(PersistError::OrderTooLarge { order: rows as u64 })? as usize;
+    // Fallible reservation: a corrupt (but header-consistent) size claim
+    // must become a typed error, never an OOM abort.
+    let mut buf: Vec<f64> = Vec::new();
+    buf.try_reserve_exact(cells)
+        .map_err(|_| PersistError::OrderTooLarge { order: rows as u64 })?;
+    for i in 0..cells {
+        let v = f64::from_le_bytes(read_array(r, &format!("{name} entry {i}"))?);
+        if !v.is_finite() {
+            return Err(PersistError::Malformed {
+                context: format!("non-finite {name} entry {v} at cell {i}"),
+            });
+        }
+        buf.push(v);
+    }
+    Ok(DenseMatrix::from_rows(rows, cols, &buf))
+}
+
+/// Reads the factor payload for a validated header.
+fn read_low_rank_body<R: Read>(
+    r: &mut R,
+    n: usize,
+    rank: usize,
+    scale: f64,
+) -> Result<LowRankScores, PersistError> {
+    let u = read_factor(r, n, rank, "U factor")?;
+    let ms = read_factor(r, rank, rank, "mixing")?;
+    Ok(LowRankScores::from_parts(scale, u, ms))
+}
+
+/// Deserializes a [`LowRankScores`] from a reader (format `SRL1`).
+pub fn read_low_rank<R: Read>(mut r: R) -> Result<LowRankScores, PersistError> {
+    let (n, rank, scale) = read_low_rank_header(&mut r)?;
+    let out = read_low_rank_body(&mut r, n, rank, scale)?;
+    // Reject trailing garbage so corrupted caches fail loudly.
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => Ok(out),
+        _ => Err(PersistError::TrailingBytes),
+    }
+}
+
+/// Saves a low-rank factor handle to `path`.
+pub fn save_low_rank(store: &LowRankScores, path: &Path) -> Result<(), PersistError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write_low_rank(store, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a low-rank factor handle from `path`.
+///
+/// As with [`load_scores`], the file length is checked against the header
+/// *before* the factors are allocated, so a truncated or padded cache
+/// file is rejected without reserving payload memory.
+pub fn load_low_rank(path: &Path) -> Result<LowRankScores, PersistError> {
+    let file = std::fs::File::open(path)?;
+    let actual = file.metadata()?.len();
+    let mut r = std::io::BufReader::new(file);
+    let (n, rank, scale) = read_low_rank_header(&mut r)?;
+    let expected = (n as u64)
+        .checked_mul(rank as u64)
+        .and_then(|u_cells| (rank as u64).checked_mul(rank as u64).map(|m| u_cells + m))
+        .and_then(|cells| cells.checked_mul(8))
+        .and_then(|payload| payload.checked_add(LOW_RANK_HEADER_BYTES))
+        .ok_or(PersistError::OrderTooLarge { order: n as u64 })?;
+    if actual != expected {
+        return Err(PersistError::SizeMismatch { expected, actual });
+    }
+    read_low_rank_body(&mut r, n, rank, scale)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -675,5 +820,208 @@ mod tests {
         assert_eq!(buf.len(), INDEX_HEADER_BYTES as usize);
         let back = read_index(&buf[..]).unwrap();
         assert_eq!(back.order(), 0);
+    }
+
+    // --- SRL1: the low-rank factor codec. ---
+
+    fn sample_low_rank() -> LowRankScores {
+        crate::mtx::mtx_simrank_low_rank(
+            &paper_fig1a(),
+            &SimRankOptions::default()
+                .with_damping(0.6)
+                .with_iterations(8),
+            Some(5),
+        )
+    }
+
+    #[test]
+    fn low_rank_round_trip_is_partialeq_identical() {
+        let store = sample_low_rank();
+        let mut buf = Vec::new();
+        write_low_rank(&store, &mut buf).unwrap();
+        let back = read_low_rank(&buf[..]).unwrap();
+        // The factors round-trip bit-exactly, and the rebuilt U·Ms cache
+        // (sequential matmul) matches the pooled original bit-for-bit, so
+        // the whole handle is PartialEq-identical...
+        assert_eq!(back, store);
+        // ...and serves identical queries.
+        for a in 0..store.order() {
+            for b in 0..store.order() {
+                assert_eq!(back.get(a, b), store.get(a, b));
+            }
+        }
+        assert_eq!(back.top_k_for(2, 4), store.top_k_for(2, 4));
+    }
+
+    #[test]
+    fn low_rank_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("simrank-persist-test-lowrank");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1a.srl");
+        let store = sample_low_rank();
+        save_low_rank(&store, &path).unwrap();
+        let back = load_low_rank(&path).unwrap();
+        assert_eq!(back, store);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn low_rank_rejects_truncation_at_every_byte_boundary() {
+        let store = sample_low_rank();
+        let mut buf = Vec::new();
+        write_low_rank(&store, &mut buf).unwrap();
+        // Every strict prefix must fail typed — never panic, never succeed.
+        for cut in 0..buf.len() {
+            match read_low_rank(&buf[..cut]) {
+                Err(PersistError::Truncated { .. }) => {}
+                other => panic!("prefix of {cut} bytes: expected Truncated, got {other:?}"),
+            }
+        }
+        // And the full buffer still parses.
+        assert_eq!(read_low_rank(&buf[..]).unwrap(), store);
+    }
+
+    #[test]
+    fn low_rank_rejects_cross_format_magic_and_trailing_bytes() {
+        let store = sample_low_rank();
+        let mut buf = Vec::new();
+        write_low_rank(&store, &mut buf).unwrap();
+        // All three formats are mutually unconfusable by magic.
+        let mut scores = Vec::new();
+        write_scores(&sample(), &mut scores).unwrap();
+        let mut index = Vec::new();
+        write_index(&sample_index(), &mut index).unwrap();
+        assert!(matches!(
+            read_low_rank(&scores[..]),
+            Err(PersistError::BadMagic { found }) if &found == b"SRM1"
+        ));
+        assert!(matches!(
+            read_low_rank(&index[..]),
+            Err(PersistError::BadMagic { found }) if &found == b"SRI1"
+        ));
+        assert!(matches!(
+            read_scores(&buf[..]),
+            Err(PersistError::BadMagic { found }) if &found == b"SRL1"
+        ));
+        assert!(matches!(
+            read_index(&buf[..]),
+            Err(PersistError::BadMagic { found }) if &found == b"SRL1"
+        ));
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(matches!(
+            read_low_rank(&long[..]),
+            Err(PersistError::TrailingBytes)
+        ));
+    }
+
+    /// Hand-assembles an SRL1 stream for corruption tests.
+    fn raw_low_rank(n: u32, rank: u32, scale: f64, u: &[f64], ms: &[f64]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SRL1");
+        buf.extend_from_slice(&n.to_le_bytes());
+        buf.extend_from_slice(&rank.to_le_bytes());
+        buf.extend_from_slice(&scale.to_le_bytes());
+        for &v in u.iter().chain(ms) {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf
+    }
+
+    #[test]
+    fn low_rank_rejects_semantic_corruption() {
+        // Rank beyond the order — rejected before any allocation.
+        let buf = raw_low_rank(2, 3, 0.4, &[0.0; 6], &[0.0; 9]);
+        assert!(matches!(
+            read_low_rank(&buf[..]),
+            Err(PersistError::Malformed { context }) if context.contains("rank")
+        ));
+        // Scale outside (0, 1) — including NaN and the closed endpoints.
+        for s in [0.0, 1.0, -0.4, f64::NAN, f64::INFINITY] {
+            let buf = raw_low_rank(2, 1, s, &[0.5, 0.5], &[1.0]);
+            assert!(
+                matches!(read_low_rank(&buf[..]), Err(PersistError::Malformed { context }) if context.contains("scale")),
+                "scale {s} accepted"
+            );
+        }
+        // Non-finite entries in either factor.
+        let buf = raw_low_rank(2, 1, 0.4, &[0.5, f64::NAN], &[1.0]);
+        assert!(matches!(
+            read_low_rank(&buf[..]),
+            Err(PersistError::Malformed { context }) if context.contains("U factor")
+        ));
+        let buf = raw_low_rank(2, 1, 0.4, &[0.5, 0.5], &[f64::NEG_INFINITY]);
+        assert!(matches!(
+            read_low_rank(&buf[..]),
+            Err(PersistError::Malformed { context }) if context.contains("mixing")
+        ));
+    }
+
+    #[test]
+    fn low_rank_rejects_patched_headers() {
+        let store = sample_low_rank();
+        let mut buf = Vec::new();
+        write_low_rank(&store, &mut buf).unwrap();
+        // Patch the order up: rank ≤ order still holds, so the header
+        // parses — the streaming reader hits Truncated, the file loader a
+        // SizeMismatch before allocating.
+        let mut patched = buf.clone();
+        patched[4..8].copy_from_slice(&100u32.to_le_bytes());
+        assert!(matches!(
+            read_low_rank(&patched[..]),
+            Err(PersistError::Truncated { .. })
+        ));
+        // Patch the rank above the order: semantic rejection.
+        let mut patched = buf.clone();
+        patched[8..12].copy_from_slice(&10_000u32.to_le_bytes());
+        assert!(matches!(
+            read_low_rank(&patched[..]),
+            Err(PersistError::Malformed { context }) if context.contains("rank")
+        ));
+    }
+
+    #[test]
+    fn low_rank_load_checks_file_size_before_allocating() {
+        let dir = std::env::temp_dir().join("simrank-persist-test-lowrank-size");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Header promises enormous factors the file does not hold:
+        // SizeMismatch, before any attempt to reserve them.
+        let path = dir.join("inflated.srl");
+        let buf = raw_low_rank(1_000_000, 1_000, 0.4, &[], &[]);
+        std::fs::write(&path, &buf).unwrap();
+        assert!(matches!(
+            load_low_rank(&path),
+            Err(PersistError::SizeMismatch { actual: 20, .. })
+        ));
+
+        // A truncated real factor file: also a size mismatch.
+        let path2 = dir.join("truncated.srl");
+        let mut full = Vec::new();
+        write_low_rank(&sample_low_rank(), &mut full).unwrap();
+        std::fs::write(&path2, &full[..full.len() - 2]).unwrap();
+        assert!(matches!(
+            load_low_rank(&path2),
+            Err(PersistError::SizeMismatch { .. })
+        ));
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
+    }
+
+    #[test]
+    fn empty_low_rank_round_trips() {
+        let empty = DiGraph::from_edges(0, []).unwrap();
+        let store = crate::mtx::mtx_simrank_low_rank(
+            &empty,
+            &SimRankOptions::default().with_iterations(3),
+            None,
+        );
+        let mut buf = Vec::new();
+        write_low_rank(&store, &mut buf).unwrap();
+        assert_eq!(buf.len(), LOW_RANK_HEADER_BYTES as usize);
+        let back = read_low_rank(&buf[..]).unwrap();
+        assert_eq!(back.order(), 0);
+        assert_eq!(back, store);
     }
 }

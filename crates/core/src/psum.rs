@@ -28,6 +28,14 @@ pub fn psum_simrank(g: &DiGraph, opts: &SimRankOptions) -> SimMatrix {
 
 /// As [`psum_simrank`], also returning instrumentation.
 pub fn psum_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatrix, Report) {
+    let (grid, report) = psum_grid(g, opts);
+    (grid.to_sim_matrix(), report)
+}
+
+/// The iteration body, returning the final full-square grid (authoritative
+/// upper triangle) so the store layer can finalize into any backend
+/// without a second square.
+pub(crate) fn psum_grid(g: &DiGraph, opts: &SimRankOptions) -> (ScoreGrid, Report) {
     let n = g.node_count();
     let k_max = opts.conventional_iterations();
     let c = opts.damping;
@@ -150,7 +158,7 @@ pub fn psum_simrank_with_report(g: &DiGraph, opts: &SimRankOptions) -> (SimMatri
         workers,
         ..Default::default()
     };
-    (cur.to_sim_matrix(), report)
+    (cur, report)
 }
 
 /// Weakly-connected-component labels (essential-pair filter): vertices in

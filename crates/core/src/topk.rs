@@ -19,9 +19,13 @@
 //! The slice-based variants ([`rank_scores`], [`top_k_scores`]) serve the
 //! index-backed single-source engine ([`crate::index::SimRankIndex`]),
 //! whose queries produce one dense score vector rather than an `n × n`
-//! matrix.
+//! matrix. The matrix-shaped variants are generic over
+//! [`ScoreStore`], so the same entry points rank packed,
+//! low-rank, and thresholded-sparse results (and `&dyn ScoreStore` trait
+//! objects) — candidates come from one non-allocating
+//! [`ScoreStore::copy_row_into`] pass, never a per-entry `get` loop.
 
-use crate::matrix::SimMatrix;
+use crate::store::ScoreStore;
 use simrank_graph::NodeId;
 use std::cmp::Ordering;
 
@@ -39,14 +43,14 @@ fn rank_order(a: &(NodeId, f64), b: &(NodeId, f64)) -> Ordering {
     }
 }
 
-/// All candidates for a query against a packed score matrix: every vertex
-/// but the query itself (its self-similarity is definitionally maximal and
-/// carries no information), unsorted.
-fn matrix_candidates(scores: &SimMatrix, query: NodeId) -> Vec<(NodeId, f64)> {
-    (0..scores.order() as NodeId)
-        .filter(|&v| v != query)
-        .map(|v| (v, scores.get(query as usize, v as usize)))
-        .collect()
+/// All candidates for a query against a score store: every vertex but the
+/// query itself (its self-similarity is definitionally maximal and
+/// carries no information), unsorted. One `copy_row_into` pass — each
+/// backend's cheapest whole-row path — rather than `n` point lookups.
+fn store_candidates<S: ScoreStore + ?Sized>(scores: &S, query: NodeId) -> Vec<(NodeId, f64)> {
+    let mut row = vec![0.0; scores.order()];
+    scores.copy_row_into(query as usize, &mut row);
+    slice_candidates(&row, query)
 }
 
 /// All candidates for a query against a single-source score vector
@@ -84,19 +88,21 @@ fn rank_prefix(mut candidates: Vec<(NodeId, f64)>, k: usize) -> Vec<(NodeId, f64
 /// The full ranking of all other vertices by similarity to `query`,
 /// descending, ties broken by ascending vertex id; NaN scores (possible
 /// only via a corrupted score file) rank last instead of panicking. The
-/// query vertex itself is excluded.
-pub fn rank_by_similarity(scores: &SimMatrix, query: NodeId) -> Vec<(NodeId, f64)> {
-    rank_full(matrix_candidates(scores, query))
+/// query vertex itself is excluded. Accepts any score backend —
+/// `&SimMatrix`, `&dyn ScoreStore`, a low-rank handle — through the
+/// [`ScoreStore`] trait.
+pub fn rank_by_similarity<S: ScoreStore + ?Sized>(scores: &S, query: NodeId) -> Vec<(NodeId, f64)> {
+    rank_full(store_candidates(scores, query))
 }
 
 /// The `k` most similar vertices to `query` (see [`rank_by_similarity`]),
 /// found by partial selection: `O(n + k log k)` instead of a full sort.
-pub fn top_k(scores: &SimMatrix, query: NodeId, k: usize) -> Vec<(NodeId, f64)> {
-    rank_prefix(matrix_candidates(scores, query), k)
+pub fn top_k<S: ScoreStore + ?Sized>(scores: &S, query: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+    rank_prefix(store_candidates(scores, query), k)
 }
 
 /// The vertex ids of the top-k ranking only.
-pub fn top_k_ids(scores: &SimMatrix, query: NodeId, k: usize) -> Vec<NodeId> {
+pub fn top_k_ids<S: ScoreStore + ?Sized>(scores: &S, query: NodeId, k: usize) -> Vec<NodeId> {
     top_k(scores, query, k)
         .into_iter()
         .map(|(v, _)| v)
@@ -119,6 +125,7 @@ pub fn top_k_scores(scores: &[f64], query: NodeId, k: usize) -> Vec<(NodeId, f64
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::SimMatrix;
 
     fn sample() -> SimMatrix {
         let mut m = SimMatrix::identity(5);
@@ -187,7 +194,8 @@ mod tests {
     #[test]
     fn slice_variants_match_matrix_variants() {
         let m = sample();
-        let row = m.row(0);
+        let mut row = vec![0.0; 5];
+        m.copy_row_into(0, &mut row);
         assert_eq!(rank_scores(&row, 0), rank_by_similarity(&m, 0));
         for k in 0..6 {
             assert_eq!(top_k_scores(&row, 0, k), top_k(&m, 0, k));

@@ -416,3 +416,87 @@ proptest! {
         prop_assert_eq!(simrank_core::persist::read_index(&buf[..]).unwrap(), base);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Oracle test for the low-rank score store: serving straight from the
+    /// `mtx-SR` factors (`get`, whole rows, top-k) reproduces the densified
+    /// packed triangle bit-for-bit at full rank, and a persisted `SRL1`
+    /// handle round-trips to an identical store.
+    #[test]
+    fn store_low_rank_pins_densified_mtx(g in arb_graph(), k in 1u32..5, c in 0.3f64..0.8) {
+        use simrank_core::store::ScoreStore;
+        let opts = SimRankOptions::default().with_damping(c).with_iterations(k);
+        let dense = simrank_core::mtx::mtx_simrank(&g, &opts, None);
+        let lr = simrank_core::mtx::mtx_simrank_low_rank(&g, &opts, None);
+        let n = g.node_count();
+        prop_assert_eq!(lr.order(), n);
+        let mut row = vec![0.0; n];
+        for a in 0..n {
+            lr.copy_row_into(a, &mut row);
+            for b in 0..n {
+                prop_assert_eq!(
+                    lr.get(a, b).to_bits(),
+                    dense.get(a, b).to_bits(),
+                    "s({},{}) diverged from the densified triangle", a, b
+                );
+                prop_assert_eq!(row[b].to_bits(), dense.get(a, b).to_bits());
+            }
+        }
+        // Same scores and tie-breaks => bit-identical rankings.
+        for q in 0..n.min(4) as NodeId {
+            prop_assert_eq!(
+                simrank_core::topk::top_k(&lr, q, 5),
+                simrank_core::topk::top_k(&dense, q, 5)
+            );
+        }
+        // A truncated factorization still approximates the exact scores.
+        let r = (n / 2).max(1);
+        let trunc = simrank_core::mtx::mtx_simrank_low_rank(&g, &opts, Some(r));
+        prop_assert_eq!(trunc.rank(), r.min(n));
+        prop_assert!(ScoreStore::max_abs_diff(&trunc, &dense) < 1.0);
+        // SRL1 round trip is exact.
+        let mut buf = Vec::new();
+        simrank_core::persist::write_low_rank(&lr, &mut buf).unwrap();
+        prop_assert_eq!(&simrank_core::persist::read_low_rank(&buf[..]).unwrap(), &lr);
+    }
+
+    /// Oracle test for the thresholded-sparse store: at θ = 0 it reproduces
+    /// the dense scores exactly on every pair, and at θ > 0 every surviving
+    /// entry is exact while every dropped entry was below θ in magnitude.
+    #[test]
+    fn store_thresholded_zero_theta_matches_dense(
+        g in arb_graph(),
+        k in 1u32..6,
+        c in 0.2f64..0.9,
+        theta in 0.0f64..0.05,
+    ) {
+        use simrank_core::store::{ScoreStore, ThresholdedSparse};
+        let opts = SimRankOptions::default().with_damping(c).with_iterations(k);
+        let dense = oip_simrank(&g, &opts);
+        let exact = ThresholdedSparse::from_store(&dense, 0.0);
+        let lossy = ThresholdedSparse::from_store(&dense, theta);
+        let n = g.node_count();
+        for a in 0..n {
+            for b in 0..n {
+                let want = dense.get(a, b);
+                prop_assert_eq!(exact.get(a, b).to_bits(), want.to_bits(), "θ=0 s({},{})", a, b);
+                let got = lossy.get(a, b);
+                if got == 0.0 && want != 0.0 {
+                    prop_assert!(want.abs() < theta, "dropped s({},{}) = {}", a, b, want);
+                } else {
+                    prop_assert_eq!(got.to_bits(), want.to_bits(), "kept s({},{})", a, b);
+                }
+            }
+        }
+        prop_assert_eq!(ScoreStore::max_abs_diff(&exact, &dense), 0.0);
+        prop_assert!(lossy.nnz() <= exact.nnz());
+        for q in 0..n.min(3) as NodeId {
+            prop_assert_eq!(
+                simrank_core::topk::rank_by_similarity(&exact, q),
+                simrank_core::topk::rank_by_similarity(&dense, q)
+            );
+        }
+    }
+}

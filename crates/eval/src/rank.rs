@@ -60,7 +60,10 @@ pub fn top_k_overlap<I: PartialEq + Copy>(a: &[I], b: &[I]) -> f64 {
 fn average_ranks(x: &[f64]) -> Vec<f64> {
     let n = x.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| x[i].partial_cmp(&x[j]).expect("finite scores"));
+    // Total order: a NaN smuggled in by a corrupted score file sorts to
+    // one end instead of panicking the evaluation (matching the ranking
+    // layer's `topk` robustness contract).
+    order.sort_by(|&i, &j| x[i].total_cmp(&x[j]));
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -138,6 +141,15 @@ mod tests {
         assert_eq!(top_k_overlap(&[1, 2, 3], &[3, 2, 1]), 1.0);
         assert_eq!(top_k_overlap(&[1, 2, 3, 4], &[1, 2, 9, 9]), 0.5);
         assert_eq!(top_k_overlap::<u32>(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn spearman_survives_nan_scores() {
+        // Regression: `average_ranks` used `partial_cmp().expect(..)` and
+        // panicked on NaN; `total_cmp` ranks it at one end instead.
+        let a = [0.3, f64::NAN, 0.1];
+        let b = [0.3, 0.2, 0.1];
+        assert!(spearman_rho(&a, &b).is_finite());
     }
 
     #[test]

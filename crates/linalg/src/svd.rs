@@ -201,6 +201,18 @@ impl Svd {
         }
     }
 
+    /// Borrows the factors as `(U, σ, V)` — for callers that serve
+    /// queries straight from the factorization without reconstructing.
+    pub fn factors(&self) -> (&DenseMatrix, &[f64], &DenseMatrix) {
+        (&self.u, &self.sigma, &self.v)
+    }
+
+    /// Consumes the decomposition into its owned factors `(U, σ, V)`,
+    /// letting callers keep (or persist) them without a clone.
+    pub fn into_factors(self) -> (DenseMatrix, Vec<f64>, DenseMatrix) {
+        (self.u, self.sigma, self.v)
+    }
+
     /// Reconstructs `U · diag(σ) · Vᵀ`.
     pub fn reconstruct(&self) -> DenseMatrix {
         let r = self.sigma.len();

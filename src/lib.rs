@@ -12,9 +12,11 @@
 //!   runs on.
 //! * [`mst`] — directed minimum spanning arborescence (Chu–Liu/Edmonds).
 //! * [`algo`] — the SimRank algorithms: `naive`, `psum-SR`, `OIP-SR`,
-//!   `OIP-DSR`, `mtx-SR`, plus convergence estimators, extensions, and
-//!   the index-backed single-source/top-k query engine
-//!   (`simrank_core::index`).
+//!   `OIP-DSR`, `mtx-SR`, plus convergence estimators, extensions, the
+//!   index-backed single-source/top-k query engine
+//!   (`simrank_core::index`), and the pluggable score-storage layer
+//!   (`simrank_core::store`: packed triangle, low-rank factors,
+//!   thresholded sparse — all behind one `ScoreStore` trait).
 //! * [`eval`] — ranking metrics (NDCG, Kendall τ, top-k overlap).
 //! * [`datasets`] — simulated stand-ins for the paper's datasets.
 //!
@@ -81,8 +83,9 @@ pub mod prelude {
         oip::oip_simrank,
         prank::{prank, PRankOptions},
         psum::psum_simrank,
+        store::{simrank_stored, ScoreStore, StoreAlgo, StoredScores},
         topk::{top_k, top_k_ids},
-        CostModel, SimMatrix, SimRankOptions,
+        CostModel, ScoreBackend, SimMatrix, SimRankOptions,
     };
     pub use simrank_eval::{kendall_tau, ndcg_at, top_k_overlap};
     pub use simrank_graph::{DiGraph, GraphBuilder, NodeId};
