@@ -10,9 +10,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use simrank_core::index::SimRankIndex;
+use simrank_core::query::QueryEngine;
 use simrank_core::{persist, SimRankOptions};
 use simrank_datasets as datasets;
 use simrank_graph::NodeId;
+use std::num::NonZeroUsize;
 
 const SEED: u64 = datasets::DEFAULT_SEED;
 
@@ -45,9 +47,12 @@ fn index_query(c: &mut Criterion) {
         .map(|i| (i * 37) % g.node_count() as NodeId)
         .collect();
     let mut group = c.benchmark_group("index_query");
+    let threads = SimRankOptions::default().threads.max(NonZeroUsize::MIN);
     group.bench_function("single_source", |b| b.iter(|| index.query(11)));
     group.bench_function("top_k_10", |b| b.iter(|| index.top_k(11, 10)));
-    group.bench_function("batch_16", |b| b.iter(|| index.query_batch(&sources)));
+    group.bench_function("batch_16", |b| {
+        b.iter(|| index.single_source_batch(&sources, threads))
+    });
     group.finish();
 }
 

@@ -1,0 +1,99 @@
+//! Closed-loop serving benchmark: a Zipf-skewed client replay against
+//! the `simrank_serve` TCP server.
+//!
+//! Unlike the other harnesses this one measures the **full serving
+//! path** — wire codec, per-connection thread, cross-connection batcher,
+//! LRU row cache — not an in-process function call. A `SimRankIndex` is
+//! built on a `berkstan_like` graph, served over loopback, and a
+//! deterministic Zipf(1.0) trace is replayed in one closed loop (send,
+//! wait, repeat) against a cache-enabled and a cache-disabled server.
+//! The replay's own p50/p99 latency and throughput are recorded via
+//! [`criterion::record_measurement`], so `BENCH_serve.json` carries the
+//! percentile rows alongside the per-query `iter` timings.
+
+use criterion::{criterion_group, criterion_main, record_measurement, Criterion};
+use simrank_core::index::SimRankIndex;
+use simrank_core::SimRankOptions;
+use simrank_datasets as datasets;
+use simrank_serve::{serve, Client, QueryOp, ServerConfig, ZipfWorkload};
+
+const SEED: u64 = datasets::DEFAULT_SEED;
+
+/// Queries in the replay trace (a shorter trace under `--quick`).
+fn trace_len() -> usize {
+    if std::env::args().any(|a| a == "--quick") {
+        256
+    } else {
+        2048
+    }
+}
+
+fn engine() -> SimRankIndex {
+    let g = datasets::berkstan_like(500, SEED).graph;
+    let opts = SimRankOptions::default()
+        .with_damping(0.6)
+        .with_epsilon(1e-4);
+    SimRankIndex::build(&g, &opts)
+}
+
+/// Replays the standard mix against a server and records the report
+/// under `serve_replay/<label>/{p50_ns,p99_ns,throughput_qps}`.
+fn replay_against(label: &str, config: ServerConfig) {
+    let index = engine();
+    let n = simrank_core::query::QueryEngine::order(&index);
+    let server = serve(Box::new(index), None, config).expect("start server");
+    let workload = ZipfWorkload::new(n, 1.0, SEED);
+    let trace = workload.trace(trace_len(), SEED ^ 1);
+    // 3:1 single-source to top-k, the mix the row cache targets.
+    let mix = [
+        QueryOp::SingleSource,
+        QueryOp::SingleSource,
+        QueryOp::SingleSource,
+        QueryOp::TopK { k: 10 },
+    ];
+    let report = simrank_serve::replay(server.addr(), &trace, &mix).expect("replay");
+    record_measurement(format!("serve_replay/{label}/p50_ns"), report.p50_ns);
+    record_measurement(format!("serve_replay/{label}/p99_ns"), report.p99_ns);
+    record_measurement(
+        format!("serve_replay/{label}/throughput_qps"),
+        report.throughput_qps.round() as u128,
+    );
+    server.shutdown();
+}
+
+/// The closed-loop Zipf replay, cache-enabled vs cache-disabled.
+fn serve_replay(_c: &mut Criterion) {
+    replay_against("cached", ServerConfig::default());
+    replay_against(
+        "uncached",
+        ServerConfig {
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        },
+    );
+}
+
+/// Per-request round-trip latency over one persistent connection, for
+/// the two request shapes the replay mixes.
+fn serve_roundtrip(c: &mut Criterion) {
+    let index = engine();
+    let server = serve(Box::new(index), None, ServerConfig::default()).expect("start server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mut group = c.benchmark_group("serve_roundtrip");
+    group.bench_function("single_source", |b| {
+        b.iter(|| client.single_source(11).expect("query"))
+    });
+    group.bench_function("top_k_10", |b| {
+        b.iter(|| client.top_k(11, 10).expect("query"))
+    });
+    group.bench_function("batch_16", |b| {
+        let sources: Vec<_> = (0..16).map(|i| (i * 29) % 500).collect();
+        b.iter(|| client.single_source_batch(&sources).expect("query"))
+    });
+    group.finish();
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(benches, serve_replay, serve_roundtrip);
+criterion_main!(benches);

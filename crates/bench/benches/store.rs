@@ -10,6 +10,7 @@
 //! every other harness.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use simrank_core::query::QueryEngine;
 use simrank_core::store::{LowRankScores, ScoreStore, ThresholdedSparse};
 use simrank_core::{mtx, persist, SimRankOptions};
 use simrank_datasets as datasets;
@@ -76,7 +77,7 @@ fn store_query(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("store_top_k");
     for (name, s) in stores {
-        group.bench_function(name, |b| b.iter(|| s.top_k_for(11, 10)));
+        group.bench_function(name, |b| b.iter(|| QueryEngine::top_k(&s, 11, 10)));
     }
     group.finish();
 }

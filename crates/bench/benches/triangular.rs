@@ -12,6 +12,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use simrank_core::montecarlo::Fingerprints;
+use simrank_core::query::QueryEngine;
 use simrank_core::{naive, psum, SimRankOptions};
 use simrank_datasets as datasets;
 use simrank_graph::DiGraph;
@@ -152,13 +153,14 @@ fn mc_single_source(c: &mut Criterion) {
     group.bench_function("hoisted", |b| {
         b.iter(|| fp.single_source(0.6, black_box(7), n))
     });
+    let engine = fp.clone().into_query_engine(0.6, n);
     group.bench_function("batch16_t1", |b| {
-        b.iter(|| fp.single_source_batch_with_threads(0.6, &sources, n, NonZeroUsize::MIN))
+        b.iter(|| engine.single_source_batch(&sources, NonZeroUsize::MIN))
     });
     let threads = NonZeroUsize::new(std::thread::available_parallelism().map_or(1, |p| p.get()))
         .expect("nonzero");
     group.bench_function("batch16_tmax", |b| {
-        b.iter(|| fp.single_source_batch_with_threads(0.6, &sources, n, threads))
+        b.iter(|| engine.single_source_batch(&sources, threads))
     });
     group.finish();
 }

@@ -12,6 +12,7 @@
 
 use crate::scale::Scale;
 use crate::table::Table;
+use simrank_core::query::QueryEngine;
 use simrank_core::store::ScoreStore;
 use simrank_core::{convergence, dsr, oip, topk, SimRankOptions};
 use simrank_eval::ndcg_at;
@@ -81,8 +82,14 @@ pub fn run(scale: Scale, seed: u64) -> Vec<NdcgPoint> {
                         .unwrap_or(usize::MAX)
                 };
                 let grade = |v: NodeId| grade_for_rank(rank_of(v));
-                let ids_dsr = topk::top_k_ids(s_dsr, q, p);
-                let ids_oip = topk::top_k_ids(s_oip, q, p);
+                let ids = |s: &&dyn ScoreStore| -> Vec<NodeId> {
+                    QueryEngine::top_k(s, q, p)
+                        .into_iter()
+                        .map(|(v, _)| v)
+                        .collect()
+                };
+                let ids_dsr = ids(&s_dsr);
+                let ids_oip = ids(&s_oip);
                 acc_dsr += ndcg_at(&ids_dsr, grade, p);
                 acc_oip += ndcg_at(&ids_oip, grade, p);
             }

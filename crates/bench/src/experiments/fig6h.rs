@@ -7,8 +7,9 @@
 
 use crate::scale::Scale;
 use crate::table::Table;
+use simrank_core::query::QueryEngine;
 use simrank_core::store::ScoreStore;
-use simrank_core::{dsr, oip, topk, SimRankOptions};
+use simrank_core::{dsr, oip, SimRankOptions};
 use simrank_eval::{adjacent_inversions, kendall_tau_distance, top_k_overlap};
 use simrank_graph::{gen, NodeId};
 
@@ -56,14 +57,14 @@ pub fn run(scale: Scale, seed: u64) -> Fig6h {
         .nodes()
         .max_by_key(|&v| (g.in_degree(v), std::cmp::Reverse(v)))
         .expect("non-empty graph");
-    // The ranking and evaluation below only need the `ScoreStore` query
-    // surface, so they run identically over any backend.
+    // The ranking and evaluation below only need the uniform
+    // `QueryEngine` surface, so they run identically over any backend.
     let s_dsr_m = dsr::oip_dsr_simrank(&g, &opts);
     let s_oip_m = oip::oip_simrank(&g, &opts);
     let s_dsr: &dyn ScoreStore = &s_dsr_m;
     let s_oip: &dyn ScoreStore = &s_oip_m;
-    let dsr_ranked = topk::top_k(s_dsr, query, 30);
-    let oip_ranked = topk::top_k(s_oip, query, 30);
+    let dsr_ranked = QueryEngine::top_k(&s_dsr, query, 30);
+    let oip_ranked = QueryEngine::top_k(&s_oip, query, 30);
     let dsr_top: Vec<NodeId> = dsr_ranked.iter().map(|&(v, _)| v).collect();
     let oip_top: Vec<NodeId> = oip_ranked.iter().map(|&(v, _)| v).collect();
     // Score correlation over the union of both lists.

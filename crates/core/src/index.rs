@@ -74,6 +74,7 @@
 //!
 //! ```
 //! use simrank_core::index::SimRankIndex;
+//! use simrank_core::query::QueryEngine;
 //! use simrank_core::{naive::naive_simrank, SimRankOptions};
 //! use simrank_graph::fixtures::paper_fig1a;
 //!
@@ -95,9 +96,7 @@
 use crate::instrument::{OpCounter, PhaseTimer, Report};
 use crate::options::SimRankOptions;
 use crate::par;
-use crate::topk;
 use simrank_graph::{DiGraph, NodeId};
-use std::num::NonZeroUsize;
 
 /// Hard cap on diagonal-correction solver rounds. CGLS usually converges
 /// in far fewer (in exact arithmetic it terminates in at most `n` steps,
@@ -120,8 +119,8 @@ pub const TRANSPOSE_SHARDS: usize = 64;
 ///
 /// Build with [`SimRankIndex::build`], persist with
 /// [`crate::persist::save_index`] / [`crate::persist::load_index`]
-/// (format `SRI1`), query with [`SimRankIndex::query`] /
-/// [`SimRankIndex::top_k`].
+/// (format `SRI1`), query with [`SimRankIndex::query`] or any
+/// [`crate::query::QueryEngine`] verb.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimRankIndex {
     /// The indexed graph (embedded so a persisted index is
@@ -581,81 +580,19 @@ impl SimRankIndex {
         }
         r
     }
+}
 
-    /// The `k` vertices most similar to `u`, descending, ties by
-    /// ascending id, `u` itself excluded — [`topk::top_k_scores`] over a
-    /// single [`SimRankIndex::query`] vector (partial selection, no full
-    /// sort, no matrix).
-    pub fn top_k(&self, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
-        topk::top_k_scores(&self.query(u), u, k)
+/// The index behind the unified query surface: `single_source` is
+/// [`SimRankIndex::query`], `top_k` the shared-comparator selection over
+/// it, and the batch verbs inherit the trait's pool-sharded defaults
+/// (bit-for-bit equal to one-by-one queries at every thread count).
+impl crate::query::QueryEngine for SimRankIndex {
+    fn order(&self) -> usize {
+        SimRankIndex::order(self)
     }
 
-    /// Batched single-source queries at the process-default worker count.
-    pub fn query_batch(&self, sources: &[NodeId]) -> Vec<Vec<f64>> {
-        self.query_batch_with_threads(sources, par::default_workers())
-    }
-
-    /// Batched single-source queries sharded over the pool: each source's
-    /// query runs the exact single-query arithmetic on one worker, so the
-    /// batch is bit-for-bit identical to querying one by one, at every
-    /// thread count.
-    pub fn query_batch_with_threads(
-        &self,
-        sources: &[NodeId],
-        threads: NonZeroUsize,
-    ) -> Vec<Vec<f64>> {
-        let workers = par::effective_workers(threads, sources.len());
-        let mut out: Vec<Vec<f64>> = vec![Vec::new(); sources.len()];
-        let blocks = par::blocks(sources.len(), workers);
-        let mut items = Vec::with_capacity(blocks.len());
-        let mut rest: &mut [Vec<f64>] = &mut out;
-        for b in &blocks {
-            let (chunk, tail) = rest.split_at_mut(b.len());
-            rest = tail;
-            items.push((b.clone(), chunk));
-        }
-        par::WorkerPool::scoped(workers, |pool| {
-            pool.sweep(items, |(range, chunk), _counter| {
-                for (slot, &u) in chunk.iter_mut().zip(&sources[range]) {
-                    *slot = self.query(u);
-                }
-            });
-        });
-        out
-    }
-
-    /// Batched top-k at the process-default worker count.
-    pub fn top_k_batch(&self, sources: &[NodeId], k: usize) -> Vec<Vec<(NodeId, f64)>> {
-        self.top_k_batch_with_threads(sources, k, par::default_workers())
-    }
-
-    /// Batched top-k queries sharded over the pool (see
-    /// [`SimRankIndex::query_batch_with_threads`] for the determinism
-    /// contract).
-    pub fn top_k_batch_with_threads(
-        &self,
-        sources: &[NodeId],
-        k: usize,
-        threads: NonZeroUsize,
-    ) -> Vec<Vec<(NodeId, f64)>> {
-        let workers = par::effective_workers(threads, sources.len());
-        let mut out: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); sources.len()];
-        let blocks = par::blocks(sources.len(), workers);
-        let mut items = Vec::with_capacity(blocks.len());
-        let mut rest: &mut [Vec<(NodeId, f64)>] = &mut out;
-        for b in &blocks {
-            let (chunk, tail) = rest.split_at_mut(b.len());
-            rest = tail;
-            items.push((b.clone(), chunk));
-        }
-        par::WorkerPool::scoped(workers, |pool| {
-            pool.sweep(items, |(range, chunk), _counter| {
-                for (slot, &u) in chunk.iter_mut().zip(&sources[range]) {
-                    *slot = self.top_k(u, k);
-                }
-            });
-        });
-        out
+    fn single_source(&self, u: NodeId) -> Vec<f64> {
+        self.query(u)
     }
 }
 
@@ -664,9 +601,11 @@ mod tests {
     use super::*;
     use crate::naive::naive_simrank;
     use crate::psum::psum_simrank;
+    use crate::query::QueryEngine;
     use crate::topk;
     use simrank_graph::fixtures::{paper_fig1a, two_triangles};
     use simrank_graph::gen;
+    use std::num::NonZeroUsize;
 
     fn opts() -> SimRankOptions {
         SimRankOptions::default()
@@ -795,19 +734,9 @@ mod tests {
         let tops: Vec<_> = sources.iter().map(|&u| index.top_k(u, 5)).collect();
         for t in [1usize, 2, 4, 8] {
             let w = NonZeroUsize::new(t).unwrap();
-            assert_eq!(
-                index.query_batch_with_threads(&sources, w),
-                singles,
-                "t = {t}"
-            );
-            assert_eq!(
-                index.top_k_batch_with_threads(&sources, 5, w),
-                tops,
-                "t = {t}"
-            );
+            assert_eq!(index.single_source_batch(&sources, w), singles, "t = {t}");
+            assert_eq!(index.top_k_batch(&sources, 5, w), tops, "t = {t}");
         }
-        assert_eq!(index.query_batch(&sources), singles);
-        assert_eq!(index.top_k_batch(&sources, 5), tops);
     }
 
     #[test]
@@ -829,7 +758,9 @@ mod tests {
         let index = SimRankIndex::build(&empty, &opts());
         assert_eq!(index.order(), 0);
         assert_eq!(index.solver_residual(), 0.0);
-        assert!(index.query_batch(&[]).is_empty());
+        assert!(index
+            .single_source_batch(&[], NonZeroUsize::new(4).unwrap())
+            .is_empty());
 
         // A lone vertex (no edges): s(0, 0) = 1 exactly, d = 1.
         let lone = DiGraph::from_edges(1, []).unwrap();

@@ -49,6 +49,13 @@
 //! ([`topk`]) is generic over the same trait. Low-rank factors persist as
 //! the `SRL1` format ([`persist::save_low_rank`]).
 //!
+//! Every query surface — [`SimRankIndex`], every [`store::ScoreStore`]
+//! backend, and the Monte-Carlo [`montecarlo::FingerprintEngine`] —
+//! implements the object-safe [`query::QueryEngine`] trait: one
+//! `single_source` / `top_k` / batched vocabulary (with pool-sharded,
+//! bit-deterministic batch defaults) that front-ends and the
+//! `simrank_serve` crate program against via `Box<dyn QueryEngine>`.
+//!
 //! # Parallel execution
 //!
 //! **Every** algorithm runs on the persistent worker-pool executor (the
@@ -82,6 +89,7 @@ pub mod persist;
 pub mod plan;
 pub mod prank;
 pub mod psum;
+pub mod query;
 pub mod setops;
 pub mod store;
 pub mod topk;
@@ -92,6 +100,7 @@ pub use instrument::Report;
 pub use matrix::SimMatrix;
 pub use options::{CostModel, ScoreBackend, SimRankOptions};
 pub use plan::SharingPlan;
+pub use query::QueryEngine;
 pub use store::{
     simrank_stored, LowRankScores, ScoreStore, StoreAlgo, StoredScores, ThresholdedSparse,
 };

@@ -289,91 +289,67 @@ impl Fingerprints {
         }
     }
 
-    /// Batched single-source queries: one score vector per source, with
-    /// sources sharded across the persistent worker pool (the process
-    /// default worker count).
+    /// Close over a damping factor and vertex count to obtain a
+    /// [`crate::query::QueryEngine`] — the uniform query surface shared
+    /// with [`crate::SimRankIndex`] and every [`crate::store::ScoreStore`]
+    /// backend. Batched queries then come from the trait's pool-sharded
+    /// defaults (bit-identical to one-by-one estimation at every thread
+    /// count).
     ///
-    /// Each source is computed wholly by one worker with the exact
-    /// sequential arithmetic of [`Fingerprints::single_source`], so the
-    /// result is bit-identical for every thread count — which worker takes
-    /// which source is scheduling only.
-    pub fn single_source_batch(&self, c: f64, sources: &[NodeId], n: usize) -> Vec<Vec<f64>> {
-        self.single_source_batch_with_threads(c, sources, n, SimRankOptions::default().threads)
-    }
-
-    /// As [`Fingerprints::single_source_batch`] with an explicit worker
-    /// count.
-    pub fn single_source_batch_with_threads(
-        &self,
-        c: f64,
-        sources: &[NodeId],
-        n: usize,
-        threads: NonZeroUsize,
-    ) -> Vec<Vec<f64>> {
-        let mut out: Vec<Vec<f64>> = sources.iter().map(|_| vec![0.0; n]).collect();
-        let workers = par::effective_workers(threads, sources.len());
-        let blocks = par::blocks(sources.len(), workers);
-        let mut items: Vec<(&[NodeId], &mut [Vec<f64>])> = Vec::with_capacity(blocks.len());
-        let mut rest: &mut [Vec<f64>] = &mut out;
-        for block in &blocks {
-            let (band, tail) = rest.split_at_mut(block.len());
-            items.push((&sources[block.clone()], band));
-            rest = tail;
+    /// # Panics
+    ///
+    /// If `damping` is outside `(0, 1)`.
+    pub fn into_query_engine(self, damping: f64, order: usize) -> FingerprintEngine {
+        assert!(
+            damping > 0.0 && damping < 1.0,
+            "damping must lie in (0, 1), got {damping}"
+        );
+        FingerprintEngine {
+            fingerprints: self,
+            damping,
+            order,
         }
-        par::WorkerPool::scoped(workers, |pool| {
-            pool.sweep(items, |(srcs, band), _counter| {
-                for (&a, row) in srcs.iter().zip(band) {
-                    self.single_source_into(c, a, row);
-                }
-            });
-        });
-        out
+    }
+}
+
+/// [`Fingerprints`] bound to a damping factor and a vertex count: the
+/// Monte-Carlo member of the [`crate::query::QueryEngine`] family.
+///
+/// Built with [`Fingerprints::into_query_engine`]. `single_source(u)` is
+/// exactly [`Fingerprints::single_source`]`(damping, u, order)`, so every
+/// estimate — and every trait-default batch — is bit-for-bit the
+/// sequential estimator.
+#[derive(Clone, Debug)]
+pub struct FingerprintEngine {
+    fingerprints: Fingerprints,
+    damping: f64,
+    order: usize,
+}
+
+impl FingerprintEngine {
+    /// The wrapped walk set.
+    pub fn fingerprints(&self) -> &Fingerprints {
+        &self.fingerprints
     }
 
-    /// Top-k over many sources: for each source, the `k` most similar
-    /// *other* vertices, descending by score with ties broken by ascending
-    /// vertex id (matching [`crate::topk::top_k`]'s deterministic order).
-    /// Sources shard across the worker pool exactly like
-    /// [`Fingerprints::single_source_batch`], so rankings are
-    /// thread-invariant.
-    pub fn top_k_batch(
-        &self,
-        c: f64,
-        sources: &[NodeId],
-        n: usize,
-        k: usize,
-    ) -> Vec<Vec<(NodeId, f64)>> {
-        self.top_k_batch_with_threads(c, sources, n, k, SimRankOptions::default().threads)
+    /// The damping factor `C` every estimate uses.
+    pub fn damping(&self) -> f64 {
+        self.damping
+    }
+}
+
+impl crate::query::QueryEngine for FingerprintEngine {
+    fn order(&self) -> usize {
+        self.order
     }
 
-    /// As [`Fingerprints::top_k_batch`] with an explicit worker count.
-    pub fn top_k_batch_with_threads(
-        &self,
-        c: f64,
-        sources: &[NodeId],
-        n: usize,
-        k: usize,
-        threads: NonZeroUsize,
-    ) -> Vec<Vec<(NodeId, f64)>> {
-        self.single_source_batch_with_threads(c, sources, n, threads)
-            .into_iter()
-            .zip(sources)
-            .map(|(scores, &a)| {
-                let mut ranked: Vec<(NodeId, f64)> = scores
-                    .into_iter()
-                    .enumerate()
-                    .map(|(v, s)| (v as NodeId, s))
-                    .filter(|&(v, _)| v != a)
-                    .collect();
-                ranked.sort_by(|x, y| {
-                    y.1.partial_cmp(&x.1)
-                        .expect("similarity scores are finite")
-                        .then(x.0.cmp(&y.0))
-                });
-                ranked.truncate(k);
-                ranked
-            })
-            .collect()
+    fn single_source(&self, u: NodeId) -> Vec<f64> {
+        assert!(
+            (u as usize) < self.order,
+            "query vertex {u} out of range for order {}",
+            self.order
+        );
+        self.fingerprints.single_source(self.damping, u, self.order)
     }
 }
 
@@ -463,28 +439,31 @@ mod tests {
 
     #[test]
     fn batched_single_source_is_thread_invariant() {
+        use crate::query::QueryEngine;
         let g = paper_fig1a();
-        let fp = Fingerprints::sample(&g, 8, 120, 5);
+        let engine = Fingerprints::sample(&g, 8, 120, 5).into_query_engine(0.6, 9);
+        let fp = engine.fingerprints();
         let sources: Vec<NodeId> = vec![0, 2, 3, 5, 7, 8];
-        let base = fp.single_source_batch_with_threads(0.6, &sources, 9, nz(1));
+        let base = engine.single_source_batch(&sources, nz(1));
         // Sequential oracle: the batch is exactly the per-source queries.
         for (row, &a) in base.iter().zip(&sources) {
             assert_eq!(row, &fp.single_source(0.6, a, 9));
         }
         for t in [2usize, 3, 4, 8] {
-            let batch = fp.single_source_batch_with_threads(0.6, &sources, 9, nz(t));
+            let batch = engine.single_source_batch(&sources, nz(t));
             assert_eq!(batch, base, "threads = {t}");
         }
         // Degenerate shapes.
-        assert!(fp.single_source_batch(0.6, &[], 9).is_empty());
+        assert!(engine.single_source_batch(&[], nz(4)).is_empty());
     }
 
     #[test]
     fn top_k_batch_is_deterministic_and_ranked() {
+        use crate::query::QueryEngine;
         let g = paper_fig1a();
-        let fp = Fingerprints::sample(&g, 8, 200, 11);
+        let engine = Fingerprints::sample(&g, 8, 200, 11).into_query_engine(0.6, 9);
         let sources: Vec<NodeId> = vec![1, 4, 6];
-        let base = fp.top_k_batch_with_threads(0.6, &sources, 9, 3, nz(1));
+        let base = engine.top_k_batch(&sources, 3, nz(1));
         for (ranked, &a) in base.iter().zip(&sources) {
             assert!(ranked.len() <= 3);
             assert!(ranked.iter().all(|&(v, _)| v != a), "source excluded");
@@ -495,18 +474,25 @@ mod tests {
                 );
             }
             // Agrees with the single-source scores it is derived from.
-            let scores = fp.single_source(0.6, a, 9);
+            let scores = engine.fingerprints().single_source(0.6, a, 9);
             for &(v, s) in ranked {
                 assert_eq!(s, scores[v as usize]);
             }
         }
         for t in [2usize, 4] {
             assert_eq!(
-                fp.top_k_batch_with_threads(0.6, &sources, 9, 3, nz(t)),
+                engine.top_k_batch(&sources, 3, nz(t)),
                 base,
                 "threads = {t}"
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "damping must lie in (0, 1)")]
+    fn query_engine_rejects_bad_damping() {
+        let g = paper_fig1a();
+        let _ = Fingerprints::sample(&g, 4, 10, 1).into_query_engine(1.0, 9);
     }
 
     #[test]

@@ -511,6 +511,7 @@ mod tests {
     use super::*;
     use crate::oip::oip_simrank;
     use crate::options::SimRankOptions;
+    use crate::query::QueryEngine;
     use simrank_graph::fixtures::paper_fig1a;
 
     fn sample() -> SimMatrix {
@@ -845,12 +846,15 @@ mod tests {
         // the whole handle is PartialEq-identical...
         assert_eq!(back, store);
         // ...and serves identical queries.
-        for a in 0..store.order() {
-            for b in 0..store.order() {
+        for a in 0..ScoreStore::order(&store) {
+            for b in 0..ScoreStore::order(&store) {
                 assert_eq!(back.get(a, b), store.get(a, b));
             }
         }
-        assert_eq!(back.top_k_for(2, 4), store.top_k_for(2, 4));
+        assert_eq!(
+            QueryEngine::top_k(&back, 2, 4),
+            QueryEngine::top_k(&store, 2, 4)
+        );
     }
 
     #[test]
@@ -1021,7 +1025,7 @@ mod tests {
         write_low_rank(&store, &mut buf).unwrap();
         assert_eq!(buf.len(), LOW_RANK_HEADER_BYTES as usize);
         let back = read_low_rank(&buf[..]).unwrap();
-        assert_eq!(back.order(), 0);
+        assert_eq!(ScoreStore::order(&back), 0);
         assert_eq!(back, store);
     }
 }

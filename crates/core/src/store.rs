@@ -30,7 +30,7 @@ use crate::instrument::Report;
 use crate::matrix::SimMatrix;
 use crate::mtx;
 use crate::options::{ScoreBackend, SimRankOptions};
-use simrank_graph::{DiGraph, NodeId};
+use simrank_graph::DiGraph;
 use simrank_linalg::DenseMatrix;
 use simrank_par as par;
 
@@ -40,8 +40,11 @@ use simrank_par as par;
 /// safe, so serving layers can hold a `&dyn ScoreStore` without knowing
 /// which representation a run produced. Entries a backend does not store
 /// (dropped by a threshold, or the implicit zeros of a sparse row) read
-/// as `0.0`.
-pub trait ScoreStore {
+/// as `0.0`. The `Send + Sync` supertraits let one store serve many
+/// query threads at once; ranked queries go through the unified
+/// [`crate::query::QueryEngine`] surface, which every backend (and
+/// `&dyn ScoreStore` itself) implements.
+pub trait ScoreStore: Send + Sync {
     /// Matrix order `n` (the scores cover vertex pairs in `0..n`).
     fn order(&self) -> usize;
 
@@ -91,20 +94,6 @@ pub trait ScoreStore {
             }
         }
         worst
-    }
-
-    /// The `k` vertices most similar to `query` (query excluded),
-    /// descending, ties by ascending id — identical semantics to
-    /// [`crate::topk::top_k`], which routes through this trait. A query
-    /// id outside `0..order()` has no candidates and yields an empty
-    /// ranking.
-    fn top_k_for(&self, query: NodeId, k: usize) -> Vec<(NodeId, f64)> {
-        if query as usize >= self.order() {
-            return Vec::new();
-        }
-        let mut row = vec![0.0; self.order()];
-        self.copy_row_into(query as usize, &mut row);
-        crate::topk::top_k_scores(&row, query, k)
     }
 }
 
@@ -437,10 +426,6 @@ impl ScoreStore for StoredScores {
     fn max_abs_diff(&self, other: &dyn ScoreStore) -> f64 {
         self.as_store().max_abs_diff(other)
     }
-
-    fn top_k_for(&self, query: NodeId, k: usize) -> Vec<(NodeId, f64)> {
-        self.as_store().top_k_for(query, k)
-    }
 }
 
 /// Which algorithm [`simrank_stored`] runs.
@@ -525,6 +510,7 @@ fn finalize_dense(
 mod tests {
     use super::*;
     use crate::matrixform::matrix_form_simrank;
+    use crate::query::QueryEngine;
     use crate::topk;
     use simrank_graph::fixtures::paper_fig1a;
     use simrank_graph::gen;
@@ -543,7 +529,7 @@ mod tests {
         for rank in [None, Some(n / 2), Some(3)] {
             let dense = mtx::mtx_simrank(&g, &opts, rank);
             let store = mtx::mtx_simrank_low_rank(&g, &opts, rank);
-            assert_eq!(store.order(), n);
+            assert_eq!(ScoreStore::order(&store), n);
             let mut dense_row = vec![0.0; n];
             let mut store_row = vec![0.0; n];
             for a in 0..n {
@@ -555,7 +541,10 @@ mod tests {
                 }
             }
             for q in [0u32, (n / 2) as u32] {
-                assert_eq!(store.top_k_for(q, 10), topk::top_k(&dense, q, 10));
+                assert_eq!(
+                    QueryEngine::top_k(&store, q, 10),
+                    topk::top_k(&dense, q, 10)
+                );
             }
             assert_eq!(ScoreStore::max_abs_diff(&store, &dense), 0.0);
         }
@@ -637,7 +626,7 @@ mod tests {
         }
         assert_eq!(ScoreStore::max_abs_diff(&sparse, &dense), 0.0);
         for q in 0..n as u32 {
-            assert_eq!(sparse.top_k_for(q, 5), topk::top_k(&dense, q, 5));
+            assert_eq!(QueryEngine::top_k(&sparse, q, 5), topk::top_k(&dense, q, 5));
         }
         // from_store (the row-buffer path) builds the identical structure.
         assert_eq!(ThresholdedSparse::from_store(&dense, 0.0), sparse);
@@ -761,15 +750,14 @@ mod tests {
             ScoreBackend::Thresholded { theta: 0.1 },
         ] {
             let (s, _) = simrank_stored(&empty, &opts.with_backend(backend), StoreAlgo::Naive);
-            assert_eq!(s.order(), 0);
-            assert!(s.top_k_for(0, 3).is_empty());
+            assert_eq!(ScoreStore::order(&s), 0);
         }
         let (s, _) = simrank_stored(
             &empty,
             &opts.with_backend(ScoreBackend::LowRank),
             StoreAlgo::Mtx { rank: None },
         );
-        assert_eq!(s.order(), 0);
+        assert_eq!(ScoreStore::order(&s), 0);
     }
 
     #[test]

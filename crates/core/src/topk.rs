@@ -29,14 +29,18 @@ use crate::store::ScoreStore;
 use simrank_graph::NodeId;
 use std::cmp::Ordering;
 
-/// The ranking order: descending score, NaN strictly last, ties broken by
-/// ascending vertex id. Total — never panics, whatever the scores hold.
+/// The ranking order every surface in the workspace shares — descending
+/// score, NaN strictly last, ties broken by ascending vertex id. Total —
+/// never panics, whatever the scores hold. [`crate::query::QueryEngine`]
+/// implementations, the [`top_k`] family here, and the serving layer all
+/// rank through this one comparator, so rankings agree bit-for-bit across
+/// engine families even on exact score ties.
 ///
 /// (`f64::total_cmp` alone would rank NaN with the sign bit clear *above*
 /// `+∞` in a descending sort; the explicit NaN arm pins every NaN, either
 /// sign, below every real score. `-0.0` and `+0.0` order deterministically
 /// by `total_cmp`: `+0.0` first when descending.)
-fn rank_order(a: &(NodeId, f64), b: &(NodeId, f64)) -> Ordering {
+pub fn rank_order(a: &(NodeId, f64), b: &(NodeId, f64)) -> Ordering {
     match (a.1.is_nan(), b.1.is_nan()) {
         (false, false) => b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)),
         (a_nan, b_nan) => a_nan.cmp(&b_nan).then(a.0.cmp(&b.0)),

@@ -12,7 +12,7 @@ use simrank_core::{
     oip::{oip_simrank, oip_simrank_with_report},
     prank::{prank_with_report, PRankOptions},
     psum::{psum_simrank, psum_simrank_with_report},
-    setops, CostModel, SharingPlan, SimRankOptions,
+    setops, CostModel, QueryEngine, SharingPlan, SimRankOptions,
 };
 use simrank_graph::{DiGraph, NodeId};
 use std::num::NonZeroUsize;
@@ -275,17 +275,22 @@ proptest! {
     ) {
         let nz = |t: usize| NonZeroUsize::new(t).unwrap();
         let n = g.node_count();
-        let fp = Fingerprints::sample(&g, 6, 12, seed);
+        let engine = Fingerprints::sample(&g, 6, 12, seed).into_query_engine(0.6, n);
         let sources: Vec<NodeId> = (0..n as NodeId).step_by(2).collect();
-        let base = fp.single_source_batch_with_threads(0.6, &sources, n, nz(1));
+        let base = engine.single_source_batch(&sources, nz(1));
         for (row, &a) in base.iter().zip(&sources) {
-            prop_assert_eq!(row, &fp.single_source(0.6, a, n), "source {} diverged", a);
+            prop_assert_eq!(
+                row,
+                &engine.fingerprints().single_source(0.6, a, n),
+                "source {} diverged",
+                a
+            );
         }
-        let ranked1 = fp.top_k_batch_with_threads(0.6, &sources, n, 5, nz(1));
+        let ranked1 = engine.top_k_batch(&sources, 5, nz(1));
         for t in [2usize, 4, 8] {
-            let batch = fp.single_source_batch_with_threads(0.6, &sources, n, nz(t));
+            let batch = engine.single_source_batch(&sources, nz(t));
             prop_assert_eq!(&batch, &base, "batch diverged at threads={}", t);
-            let ranked = fp.top_k_batch_with_threads(0.6, &sources, n, 5, nz(t));
+            let ranked = engine.top_k_batch(&sources, 5, nz(t));
             prop_assert_eq!(&ranked, &ranked1, "top-k diverged at threads={}", t);
         }
     }
@@ -400,14 +405,14 @@ proptest! {
         let nz = |w: usize| NonZeroUsize::new(w).unwrap();
         let singles: Vec<Vec<f64>> = sources.iter().map(|&u| base.query(u)).collect();
         prop_assert_eq!(
-            base.query_batch_with_threads(&sources, nz(t)),
+            base.single_source_batch(&sources, nz(t)),
             singles,
             "batched queries diverged at threads={}",
             t
         );
         prop_assert_eq!(
-            base.top_k_batch_with_threads(&sources, 4, nz(t)),
-            base.top_k_batch_with_threads(&sources, 4, nz(1)),
+            base.top_k_batch(&sources, 4, nz(t)),
+            base.top_k_batch(&sources, 4, nz(1)),
             "batched top-k diverged at threads={}",
             t
         );
@@ -431,7 +436,7 @@ proptest! {
         let dense = simrank_core::mtx::mtx_simrank(&g, &opts, None);
         let lr = simrank_core::mtx::mtx_simrank_low_rank(&g, &opts, None);
         let n = g.node_count();
-        prop_assert_eq!(lr.order(), n);
+        prop_assert_eq!(ScoreStore::order(&lr), n);
         let mut row = vec![0.0; n];
         for a in 0..n {
             lr.copy_row_into(a, &mut row);

@@ -1,0 +1,195 @@
+//! A bounded, sharded LRU for hot single-source rows.
+//!
+//! The server memoizes full `s(u, ·)` rows — the one expensive unit every
+//! request shape (single, top-k, batch) reduces to — keyed by source
+//! vertex. Entries are `Arc<Vec<f64>>`, so a hit hands back the *same*
+//! allocation the engine produced: cached responses are bit-for-bit the
+//! uncached ones by construction, never a re-quantized copy.
+//!
+//! Sharding: the key space is split across `shards` independent
+//! `Mutex`-protected maps (shard = `u % shards`), so concurrent
+//! connection threads rarely contend. Each shard runs an exact LRU over
+//! its own capacity slice via a monotone tick: `get` refreshes the
+//! entry's tick, inserts beyond capacity evict the shard's
+//! smallest-tick entry (an `O(shard len)` scan — shards are small and
+//! the scan is branch-predictable, so this beats a linked-list LRU at
+//! these sizes and stays std-only).
+//!
+//! A capacity of `0` disables caching entirely (every lookup misses and
+//! nothing is retained) — the configuration the bit-for-bit
+//! cold-vs-warm property test runs against.
+
+use simrank_graph::NodeId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One shard: an exact-LRU map slice under its own lock.
+#[derive(Debug, Default)]
+struct Shard {
+    rows: HashMap<NodeId, (Arc<Vec<f64>>, u64)>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// The bounded sharded row cache (see the [module docs](self)).
+#[derive(Debug)]
+pub struct RowCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Max rows retained per shard.
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RowCache {
+    /// A cache holding at most `capacity` rows split over `shards`
+    /// locks. `capacity = 0` disables caching; `shards` is clamped to at
+    /// least 1 and at most `capacity` (so every shard can hold a row).
+    pub fn new(capacity: usize, shards: usize) -> RowCache {
+        let shards = shards.clamp(1, capacity.max(1));
+        RowCache {
+            per_shard: capacity / shards,
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, u: NodeId) -> &Mutex<Shard> {
+        &self.shards[u as usize % self.shards.len()]
+    }
+
+    /// The cached row for `u`, refreshing its recency; `None` on miss.
+    pub fn get(&self, u: NodeId) -> Option<Arc<Vec<f64>>> {
+        let mut shard = self.shard(u).lock().expect("cache shard poisoned");
+        let tick = shard.touch();
+        match shard.rows.get_mut(&u) {
+            Some((row, at)) => {
+                *at = tick;
+                let row = Arc::clone(row);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(row)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Caches the row for `u`, evicting the shard's least-recently-used
+    /// entry if the shard is full. No-op when the cache is disabled.
+    pub fn insert(&self, u: NodeId, row: Arc<Vec<f64>>) {
+        if self.per_shard == 0 {
+            return;
+        }
+        let mut shard = self.shard(u).lock().expect("cache shard poisoned");
+        let tick = shard.touch();
+        if shard.rows.len() >= self.per_shard && !shard.rows.contains_key(&u) {
+            if let Some(&evict) = shard
+                .rows
+                .iter()
+                .min_by_key(|(_, (_, at))| *at)
+                .map(|(k, _)| k)
+            {
+                shard.rows.remove(&evict);
+            }
+        }
+        shard.rows.insert(u, (row, tick));
+    }
+
+    /// Rows currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").rows.len())
+            .sum()
+    }
+
+    /// True when no rows are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: f64) -> Arc<Vec<f64>> {
+        Arc::new(vec![v])
+    }
+
+    #[test]
+    fn hit_returns_the_same_allocation() {
+        let c = RowCache::new(8, 2);
+        let r = row(0.5);
+        c.insert(3, Arc::clone(&r));
+        let back = c.get(3).unwrap();
+        assert!(Arc::ptr_eq(&back, &r), "hits must not copy");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 0);
+        assert!(c.get(4).is_none());
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_per_shard() {
+        // One shard, capacity 2: inserting a third row evicts the least
+        // recently *used*, not the oldest inserted.
+        let c = RowCache::new(2, 1);
+        c.insert(0, row(0.0));
+        c.insert(1, row(1.0));
+        assert!(c.get(0).is_some(), "refresh 0");
+        c.insert(2, row(2.0));
+        assert!(c.get(0).is_some(), "0 was refreshed, must survive");
+        assert!(c.get(1).is_none(), "1 was LRU, must be evicted");
+        assert!(c.get(2).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = RowCache::new(0, 4);
+        c.insert(1, row(1.0));
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn bounded_under_many_inserts() {
+        let c = RowCache::new(16, 4);
+        for u in 0..1000u32 {
+            c.insert(u, row(u as f64));
+        }
+        assert!(c.len() <= 16, "capacity must bound residency");
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn reinserting_resident_key_does_not_evict_others() {
+        let c = RowCache::new(2, 1);
+        c.insert(0, row(0.0));
+        c.insert(1, row(1.0));
+        c.insert(1, row(1.5));
+        assert!(c.get(0).is_some());
+        assert_eq!(c.get(1).unwrap()[0], 1.5);
+    }
+}

@@ -1,0 +1,151 @@
+//! A blocking client for the query server.
+//!
+//! One request/response exchange per call, over a persistent
+//! connection. Every success returns the answering generation's id
+//! alongside the payload, so callers can observe reloads.
+
+use crate::protocol::{
+    read_frame, write_frame, Request, Response, ResponseBody, ServerStats, WireError,
+};
+use simrank_graph::NodeId;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connection reset, server gone…).
+    Io(io::Error),
+    /// The server's bytes did not parse.
+    Wire(WireError),
+    /// The server answered with a protocol-level error message.
+    Server(String),
+    /// The server answered OK, but with a payload of the wrong shape
+    /// for the request — a protocol bug, not an operational error.
+    UnexpectedPayload,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O error: {e}"),
+            ClientError::Wire(e) => write!(f, "client wire error: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::UnexpectedPayload => write!(f, "unexpected response payload shape"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// One `(id, score)` ranking, best first.
+pub type Ranking = Vec<(NodeId, f64)>;
+
+/// A connected client (see the [module docs](self)).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends a pre-encoded request body and returns the raw response
+    /// body — the byte-level escape hatch the bit-for-bit equality
+    /// tests use.
+    pub fn exchange_raw(&mut self, request_body: &[u8]) -> io::Result<Vec<u8>> {
+        write_frame(&mut self.writer, request_body)?;
+        read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
+        })
+    }
+
+    /// One request/response exchange at the typed level.
+    pub fn exchange(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let body = self.exchange_raw(&request.encode())?;
+        Ok(Response::decode(&body)?)
+    }
+
+    fn expect_ok(&mut self, request: &Request) -> Result<(u64, ResponseBody), ClientError> {
+        match self.exchange(request)? {
+            Response::Ok { generation, body } => Ok((generation, body)),
+            Response::Err(msg) => Err(ClientError::Server(msg)),
+        }
+    }
+
+    /// The full score row `s(u, ·)`.
+    pub fn single_source(&mut self, u: NodeId) -> Result<(u64, Vec<f64>), ClientError> {
+        match self.expect_ok(&Request::SingleSource { u })? {
+            (generation, ResponseBody::Row(row)) => Ok((generation, row)),
+            _ => Err(ClientError::UnexpectedPayload),
+        }
+    }
+
+    /// The `k` best `(id, score)` pairs for `u`.
+    pub fn top_k(&mut self, u: NodeId, k: u32) -> Result<(u64, Ranking), ClientError> {
+        match self.expect_ok(&Request::TopK { u, k })? {
+            (generation, ResponseBody::Ranking(r)) => Ok((generation, r)),
+            _ => Err(ClientError::UnexpectedPayload),
+        }
+    }
+
+    /// One row per source, all answered by a single generation.
+    pub fn single_source_batch(
+        &mut self,
+        us: &[NodeId],
+    ) -> Result<(u64, Vec<Vec<f64>>), ClientError> {
+        match self.expect_ok(&Request::SingleSourceBatch { us: us.to_vec() })? {
+            (generation, ResponseBody::Rows(rows)) => Ok((generation, rows)),
+            _ => Err(ClientError::UnexpectedPayload),
+        }
+    }
+
+    /// One ranking per source, all answered by a single generation.
+    pub fn top_k_batch(
+        &mut self,
+        us: &[NodeId],
+        k: u32,
+    ) -> Result<(u64, Vec<Ranking>), ClientError> {
+        match self.expect_ok(&Request::TopKBatch { k, us: us.to_vec() })? {
+            (generation, ResponseBody::Rankings(rs)) => Ok((generation, rs)),
+            _ => Err(ClientError::UnexpectedPayload),
+        }
+    }
+
+    /// Server counters.
+    pub fn stats(&mut self) -> Result<(u64, ServerStats), ClientError> {
+        match self.expect_ok(&Request::Stats)? {
+            (generation, ResponseBody::Stats(s)) => Ok((generation, s)),
+            _ => Err(ClientError::UnexpectedPayload),
+        }
+    }
+
+    /// Asks the server to swap in a freshly loaded generation; returns
+    /// the new generation id.
+    pub fn reload(&mut self) -> Result<u64, ClientError> {
+        match self.expect_ok(&Request::Reload)? {
+            (generation, ResponseBody::Reloaded) => Ok(generation),
+            _ => Err(ClientError::UnexpectedPayload),
+        }
+    }
+}

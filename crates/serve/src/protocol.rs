@@ -1,0 +1,556 @@
+//! The wire protocol: tiny, length-prefixed, binary, little-endian.
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! | len: u32 LE | body: len bytes |
+//! ```
+//!
+//! Request bodies start with a one-byte opcode:
+//!
+//! | opcode | request | payload |
+//! |---|---|---|
+//! | `1` | `SingleSource` | `u: u32` |
+//! | `2` | `TopK` | `u: u32, k: u32` |
+//! | `3` | `SingleSourceBatch` | `count: u32, count × u32` |
+//! | `4` | `TopKBatch` | `k: u32, count: u32, count × u32` |
+//! | `5` | `Stats` | — |
+//! | `6` | `Reload` | — |
+//!
+//! Response bodies start with a one-byte status. Status `0` (OK) is
+//! followed by the echoed request opcode, the `u64` id of the index
+//! generation that produced the answer, and an opcode-specific payload:
+//!
+//! | opcode | OK payload |
+//! |---|---|
+//! | `1` | `n: u32, n × f64` |
+//! | `2` | `count: u32, count × (id: u32, score: f64)` |
+//! | `3` | `rows: u32, rows × (n: u32, n × f64)` |
+//! | `4` | `rows: u32, rows × (count: u32, count × (id: u32, score: f64))` |
+//! | `5` | `order: u32, hits/misses/cached_rows/served/reloads: 5 × u64` |
+//! | `6` | — (the generation field *is* the answer: the new generation) |
+//!
+//! Status `1` (error) is followed by a UTF-8 message. Scores travel as
+//! raw `f64::to_le_bytes`, so a served row is bit-for-bit the engine's
+//! row — the property the cache tests pin.
+
+use simrank_graph::NodeId;
+use std::io::{self, Read, Write};
+
+/// Hard cap on a single frame, request or response (guards both sides
+/// against a corrupt or hostile length prefix causing an allocation
+/// bomb). 256 MiB comfortably fits a full batch of dense rows on the
+/// graph sizes this workspace targets.
+pub const MAX_FRAME_BYTES: u32 = 256 << 20;
+
+/// A decoded request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// One full score row `s(u, ·)`.
+    SingleSource {
+        /// Query vertex.
+        u: NodeId,
+    },
+    /// The `k` best `(id, score)` pairs for `u`.
+    TopK {
+        /// Query vertex.
+        u: NodeId,
+        /// Ranking length.
+        k: u32,
+    },
+    /// One row per source, answered under a single generation snapshot.
+    SingleSourceBatch {
+        /// Query vertices.
+        us: Vec<NodeId>,
+    },
+    /// One ranking per source, answered under a single generation
+    /// snapshot.
+    TopKBatch {
+        /// Ranking length.
+        k: u32,
+        /// Query vertices.
+        us: Vec<NodeId>,
+    },
+    /// Server counters (cache hits/misses, rows cached, requests served).
+    Stats,
+    /// Atomically swap in a freshly loaded engine generation.
+    Reload,
+}
+
+impl Request {
+    /// The opcode this request travels under.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::SingleSource { .. } => 1,
+            Request::TopK { .. } => 2,
+            Request::SingleSourceBatch { .. } => 3,
+            Request::TopKBatch { .. } => 4,
+            Request::Stats => 5,
+            Request::Reload => 6,
+        }
+    }
+
+    /// Encodes the request body (opcode + payload, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![self.opcode()];
+        match self {
+            Request::SingleSource { u } => out.extend_from_slice(&u.to_le_bytes()),
+            Request::TopK { u, k } => {
+                out.extend_from_slice(&u.to_le_bytes());
+                out.extend_from_slice(&k.to_le_bytes());
+            }
+            Request::SingleSourceBatch { us } => {
+                out.extend_from_slice(&(us.len() as u32).to_le_bytes());
+                for u in us {
+                    out.extend_from_slice(&u.to_le_bytes());
+                }
+            }
+            Request::TopKBatch { k, us } => {
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&(us.len() as u32).to_le_bytes());
+                for u in us {
+                    out.extend_from_slice(&u.to_le_bytes());
+                }
+            }
+            Request::Stats | Request::Reload => {}
+        }
+        out
+    }
+
+    /// Decodes a request body (as produced by [`Request::encode`]).
+    pub fn decode(body: &[u8]) -> Result<Request, WireError> {
+        let mut r = Cursor::new(body);
+        let op = r.u8()?;
+        let req = match op {
+            1 => Request::SingleSource { u: r.u32()? },
+            2 => Request::TopK {
+                u: r.u32()?,
+                k: r.u32()?,
+            },
+            3 => {
+                let count = r.u32()? as usize;
+                Request::SingleSourceBatch { us: r.u32s(count)? }
+            }
+            4 => {
+                let k = r.u32()?;
+                let count = r.u32()? as usize;
+                Request::TopKBatch {
+                    k,
+                    us: r.u32s(count)?,
+                }
+            }
+            5 => Request::Stats,
+            6 => Request::Reload,
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// Server counters, as carried by a `Stats` response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Vertices queryable in the current generation.
+    pub order: u32,
+    /// Single-source rows answered from the LRU.
+    pub cache_hits: u64,
+    /// Single-source rows that had to be computed.
+    pub cache_misses: u64,
+    /// Rows resident in the current generation's cache.
+    pub cached_rows: u64,
+    /// Requests answered since the server started (all opcodes).
+    pub served: u64,
+    /// Successful generation reloads since the server started.
+    pub reloads: u64,
+}
+
+/// A decoded response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The success payload for each request, tagged with the id of the
+    /// generation that produced it.
+    Ok {
+        /// Generation that answered (monotonically increasing across
+        /// reloads; every row in a batch comes from this one snapshot).
+        generation: u64,
+        /// The opcode-specific payload.
+        body: ResponseBody,
+    },
+    /// The request could not be served (unknown vertex, no reload
+    /// source, malformed frame…). The connection stays usable.
+    Err(String),
+}
+
+/// The opcode-specific payload of an OK response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResponseBody {
+    /// Response to [`Request::SingleSource`].
+    Row(Vec<f64>),
+    /// Response to [`Request::TopK`].
+    Ranking(Vec<(NodeId, f64)>),
+    /// Response to [`Request::SingleSourceBatch`].
+    Rows(Vec<Vec<f64>>),
+    /// Response to [`Request::TopKBatch`].
+    Rankings(Vec<Vec<(NodeId, f64)>>),
+    /// Response to [`Request::Stats`].
+    Stats(ServerStats),
+    /// Response to [`Request::Reload`] — the generation field of the
+    /// envelope is the newly active generation.
+    Reloaded,
+}
+
+impl ResponseBody {
+    fn opcode(&self) -> u8 {
+        match self {
+            ResponseBody::Row(_) => 1,
+            ResponseBody::Ranking(_) => 2,
+            ResponseBody::Rows(_) => 3,
+            ResponseBody::Rankings(_) => 4,
+            ResponseBody::Stats(_) => 5,
+            ResponseBody::Reloaded => 6,
+        }
+    }
+}
+
+fn put_row(out: &mut Vec<u8>, row: &[f64]) {
+    out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+    for v in row {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_ranking(out: &mut Vec<u8>, ranking: &[(NodeId, f64)]) {
+    out.extend_from_slice(&(ranking.len() as u32).to_le_bytes());
+    for (v, s) in ranking {
+        out.extend_from_slice(&v.to_le_bytes());
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+}
+
+impl Response {
+    /// Encodes the response body (status + payload, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Ok { generation, body } => {
+                let mut out = vec![0u8, body.opcode()];
+                out.extend_from_slice(&generation.to_le_bytes());
+                match body {
+                    ResponseBody::Row(row) => put_row(&mut out, row),
+                    ResponseBody::Ranking(r) => put_ranking(&mut out, r),
+                    ResponseBody::Rows(rows) => {
+                        out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                        for row in rows {
+                            put_row(&mut out, row);
+                        }
+                    }
+                    ResponseBody::Rankings(rs) => {
+                        out.extend_from_slice(&(rs.len() as u32).to_le_bytes());
+                        for r in rs {
+                            put_ranking(&mut out, r);
+                        }
+                    }
+                    ResponseBody::Stats(s) => {
+                        out.extend_from_slice(&s.order.to_le_bytes());
+                        for v in [
+                            s.cache_hits,
+                            s.cache_misses,
+                            s.cached_rows,
+                            s.served,
+                            s.reloads,
+                        ] {
+                            out.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                    ResponseBody::Reloaded => {}
+                }
+                out
+            }
+            Response::Err(msg) => {
+                let mut out = vec![1u8];
+                out.extend_from_slice(msg.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Decodes a response body (as produced by [`Response::encode`]).
+    pub fn decode(body: &[u8]) -> Result<Response, WireError> {
+        let mut r = Cursor::new(body);
+        match r.u8()? {
+            0 => {
+                let op = r.u8()?;
+                let generation = r.u64()?;
+                let body = match op {
+                    1 => ResponseBody::Row(r.row()?),
+                    2 => ResponseBody::Ranking(r.ranking()?),
+                    3 => {
+                        let rows = r.u32()? as usize;
+                        ResponseBody::Rows((0..rows).map(|_| r.row()).collect::<Result<_, _>>()?)
+                    }
+                    4 => {
+                        let rows = r.u32()? as usize;
+                        ResponseBody::Rankings(
+                            (0..rows).map(|_| r.ranking()).collect::<Result<_, _>>()?,
+                        )
+                    }
+                    5 => ResponseBody::Stats(ServerStats {
+                        order: r.u32()?,
+                        cache_hits: r.u64()?,
+                        cache_misses: r.u64()?,
+                        cached_rows: r.u64()?,
+                        served: r.u64()?,
+                        reloads: r.u64()?,
+                    }),
+                    6 => ResponseBody::Reloaded,
+                    other => return Err(WireError::BadOpcode(other)),
+                };
+                r.finish()?;
+                Ok(Response::Ok { generation, body })
+            }
+            1 => Ok(Response::Err(
+                String::from_utf8_lossy(r.rest()).into_owned(),
+            )),
+            other => Err(WireError::BadStatus(other)),
+        }
+    }
+}
+
+/// Malformed bytes on the wire.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Body ended before the structure it promised was complete.
+    Truncated,
+    /// Well-formed message followed by unexpected extra bytes.
+    TrailingBytes,
+    /// Unknown request/response opcode.
+    BadOpcode(u8),
+    /// Unknown response status byte.
+    BadStatus(u8),
+    /// A frame's length prefix exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge(u32),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire error: truncated message"),
+            WireError::TrailingBytes => write!(f, "wire error: trailing bytes"),
+            WireError::BadOpcode(op) => write!(f, "wire error: unknown opcode {op}"),
+            WireError::BadStatus(s) => write!(f, "wire error: unknown status {s}"),
+            WireError::FrameTooLarge(n) => write!(f, "wire error: frame of {n} bytes too large"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(mut w: W, body: &[u8]) -> io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` means the peer closed the
+/// connection cleanly *between* frames.
+pub fn read_frame<R: Read>(mut r: R) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::FrameTooLarge(len).to_string(),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Little-endian pull parser over a message body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.buf.get(self.at..end).ok_or(WireError::Truncated)?;
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u32s(&mut self, count: usize) -> Result<Vec<u32>, WireError> {
+        (0..count).map(|_| self.u32()).collect()
+    }
+
+    fn row(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.u32()? as usize;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn ranking(&mut self) -> Result<Vec<(NodeId, f64)>, WireError> {
+        let n = self.u32()? as usize;
+        (0..n).map(|_| Ok((self.u32()?, self.f64()?))).collect()
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.at..];
+        self.at = self.buf.len();
+        s
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::SingleSource { u: 7 },
+            Request::TopK { u: 3, k: 10 },
+            Request::SingleSourceBatch { us: vec![0, 5, 2] },
+            Request::TopKBatch {
+                k: 4,
+                us: vec![9, 9, 1],
+            },
+            Request::SingleSourceBatch { us: vec![] },
+            Request::Stats,
+            Request::Reload,
+        ];
+        for req in reqs {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Ok {
+                generation: 3,
+                body: ResponseBody::Row(vec![0.0, 1.0, f64::MIN_POSITIVE, -0.0]),
+            },
+            Response::Ok {
+                generation: 1,
+                body: ResponseBody::Ranking(vec![(4, 0.25), (1, 0.25), (0, 0.0)]),
+            },
+            Response::Ok {
+                generation: 9,
+                body: ResponseBody::Rows(vec![vec![1.0], vec![], vec![0.5, 0.5]]),
+            },
+            Response::Ok {
+                generation: 2,
+                body: ResponseBody::Rankings(vec![vec![(1, 0.5)], vec![]]),
+            },
+            Response::Ok {
+                generation: 8,
+                body: ResponseBody::Stats(ServerStats {
+                    order: 100,
+                    cache_hits: 5,
+                    cache_misses: 7,
+                    cached_rows: 7,
+                    served: 12,
+                    reloads: 2,
+                }),
+            },
+            Response::Ok {
+                generation: 4,
+                body: ResponseBody::Reloaded,
+            },
+            Response::Err("query vertex 9 out of range".into()),
+        ];
+        for resp in resps {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_bytes_are_typed_errors() {
+        assert_eq!(Request::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(Request::decode(&[99]), Err(WireError::BadOpcode(99)));
+        assert_eq!(Request::decode(&[1, 0, 0]), Err(WireError::Truncated));
+        assert_eq!(
+            Request::decode(&[5, 0]),
+            Err(WireError::TrailingBytes),
+            "stats carries no payload"
+        );
+        // A batch whose count promises more ids than the body holds.
+        let mut bad = vec![3u8];
+        bad.extend_from_slice(&10u32.to_le_bytes());
+        bad.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(Request::decode(&bad), Err(WireError::Truncated));
+        assert_eq!(Response::decode(&[7]), Err(WireError::BadStatus(7)));
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+
+        let huge = (MAX_FRAME_BYTES + 1).to_le_bytes();
+        assert!(read_frame(&huge[..]).is_err());
+    }
+
+    #[test]
+    fn scores_travel_bit_exactly() {
+        // The codec must not normalize -0.0, NaN payloads, or denormals:
+        // cached-vs-cold byte equality depends on it.
+        let row = vec![-0.0, f64::NAN, 1e-310, 0.1 + 0.2];
+        let resp = Response::Ok {
+            generation: 0,
+            body: ResponseBody::Row(row.clone()),
+        };
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::Ok {
+                body: ResponseBody::Row(back),
+                ..
+            } => {
+                for (a, b) in back.iter().zip(&row) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}

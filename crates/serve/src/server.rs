@@ -1,0 +1,405 @@
+//! The blocking TCP query server over `Box<dyn QueryEngine>`.
+//!
+//! # Architecture
+//!
+//! One accept thread, one connection thread per client, and one
+//! *batcher* thread. Connection threads never call the engine directly:
+//! a single-source miss becomes a job on the batcher's channel, and the
+//! batcher drains every concurrently queued job (up to
+//! [`ServerConfig::max_batch`]) into **one**
+//! [`QueryEngine::single_source_batch`] dispatch — so concurrent
+//! clients share a single worker-pool sweep instead of racing n single
+//! queries. Because the batch contract is "exact single-query
+//! arithmetic per source on one worker", coalescing never changes a
+//! byte of any response.
+//!
+//! # Generations
+//!
+//! The live engine is an `Arc<Generation>` behind an `RwLock`. Every
+//! request takes **one** snapshot of that `Arc` and answers entirely
+//! from it; `Reload` builds the next generation from the configured
+//! [`EngineSource`] and swaps the `Arc` in. In-flight requests keep
+//! their old snapshot alive, so a response is always *old-or-new, never
+//! mixed* — even a batch that straddles the swap. Each generation owns
+//! its own [`RowCache`], so a stale row can never serve a new
+//! generation, and every OK response carries the id of the generation
+//! that answered it.
+
+use crate::cache::RowCache;
+use crate::protocol::{read_frame, write_frame, Request, Response, ResponseBody, ServerStats};
+use simrank_core::query::QueryEngine;
+use simrank_core::topk;
+use simrank_core::SimRankOptions;
+use simrank_graph::NodeId;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+
+/// Where `Reload` gets the next engine generation from.
+///
+/// Implemented for any `Fn() -> Result<Box<dyn QueryEngine>, String>`
+/// closure, e.g. one that calls `simrank_core::persist::load_index` on
+/// a path that a background build keeps overwriting.
+pub trait EngineSource: Send + Sync {
+    /// Loads a fresh engine; an `Err` leaves the current generation
+    /// serving.
+    fn load(&self) -> Result<Box<dyn QueryEngine>, String>;
+}
+
+impl<F> EngineSource for F
+where
+    F: Fn() -> Result<Box<dyn QueryEngine>, String> + Send + Sync,
+{
+    fn load(&self) -> Result<Box<dyn QueryEngine>, String> {
+        self()
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Max single-source rows the per-generation LRU retains
+    /// (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Lock shards the cache splits across.
+    pub cache_shards: usize,
+    /// Max concurrently queued queries one batcher dispatch coalesces.
+    pub max_batch: usize,
+    /// Worker-pool width for coalesced dispatches. The default follows
+    /// [`SimRankOptions::default`], which honors the
+    /// `SIMRANK_TEST_THREADS` override — so the determinism CI matrix
+    /// exercises the server at every width.
+    pub threads: NonZeroUsize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cache_capacity: 1024,
+            cache_shards: 8,
+            max_batch: 64,
+            threads: SimRankOptions::default().threads,
+        }
+    }
+}
+
+/// One immutable engine generation: the engine, its private row cache,
+/// and the id every response from it is tagged with.
+struct Generation {
+    id: u64,
+    engine: Box<dyn QueryEngine>,
+    cache: RowCache,
+}
+
+impl Generation {
+    fn new(id: u64, engine: Box<dyn QueryEngine>, config: &ServerConfig) -> Generation {
+        Generation {
+            id,
+            engine,
+            cache: RowCache::new(config.cache_capacity, config.cache_shards),
+        }
+    }
+}
+
+/// A queued single-source computation: which generation to answer from,
+/// the source vertex, and where to send the finished row.
+struct Job {
+    generation: Arc<Generation>,
+    u: NodeId,
+    reply: Sender<Arc<Vec<f64>>>,
+}
+
+/// State shared by every server thread.
+struct Shared {
+    current: RwLock<Arc<Generation>>,
+    source: Option<Box<dyn EngineSource>>,
+    config: ServerConfig,
+    served: AtomicU64,
+    reloads: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A running server: bound address plus the thread handles needed to
+/// stop it. Shuts down on drop.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to (loopback, OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The id of the currently serving generation.
+    pub fn generation(&self) -> u64 {
+        self.shared.current.read().expect("generation lock").id
+    }
+
+    /// Stops accepting, then returns. Already-open connections finish
+    /// naturally as their clients disconnect.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Starts a server for `engine` on a loopback port chosen by the OS.
+///
+/// `source` powers the `Reload` request; without one, `Reload` answers
+/// with an error and the initial generation serves forever.
+pub fn serve(
+    engine: Box<dyn QueryEngine>,
+    source: Option<Box<dyn EngineSource>>,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    let first = Arc::new(Generation::new(1, engine, &config));
+    let shared = Arc::new(Shared {
+        current: RwLock::new(first),
+        source,
+        config,
+        served: AtomicU64::new(0),
+        reloads: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let (jobs, job_rx) = mpsc::channel::<Job>();
+    {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("simrank-serve-batcher".into())
+            .spawn(move || batcher_loop(job_rx, shared))?;
+    }
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("simrank-serve-accept".into())
+            .spawn(move || accept_loop(listener, shared, jobs))?
+    };
+
+    Ok(ServerHandle {
+        shared,
+        addr,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, jobs: Sender<Job>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        let jobs = jobs.clone();
+        let _ = std::thread::Builder::new()
+            .name("simrank-serve-conn".into())
+            .spawn(move || {
+                let _ = connection_loop(stream, shared, jobs);
+            });
+    }
+    // Dropping the listener and our `jobs` sender here lets the batcher
+    // exit once the last connection thread hangs up.
+}
+
+fn connection_loop(stream: TcpStream, shared: Arc<Shared>, jobs: Sender<Job>) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = io::BufReader::new(stream.try_clone()?);
+    let mut writer = io::BufWriter::new(stream);
+    while let Some(frame) = read_frame(&mut reader)? {
+        let response = match Request::decode(&frame) {
+            Ok(request) => handle(&request, &shared, &jobs),
+            Err(e) => Response::Err(e.to_string()),
+        };
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        write_frame(&mut writer, &response.encode())?;
+    }
+    Ok(())
+}
+
+/// Answers one request entirely from one generation snapshot.
+fn handle(request: &Request, shared: &Shared, jobs: &Sender<Job>) -> Response {
+    // The single snapshot per request: everything below — range checks,
+    // cache lookups, computed rows, the response tag — refers to this
+    // one Arc, so a concurrent reload can never produce a torn answer.
+    let generation = Arc::clone(&shared.current.read().expect("generation lock"));
+    let n = generation.engine.order();
+    let check = |us: &[NodeId]| -> Result<(), Response> {
+        match us.iter().find(|&&u| u as usize >= n) {
+            Some(&u) => Err(Response::Err(format!(
+                "query vertex {u} out of range for order {n}"
+            ))),
+            None => Ok(()),
+        }
+    };
+    let ok = |body: ResponseBody| Response::Ok {
+        generation: generation.id,
+        body,
+    };
+    match request {
+        Request::SingleSource { u } => match check(&[*u]) {
+            Err(e) => e,
+            Ok(()) => ok(ResponseBody::Row(
+                fetch_rows(&generation, &[*u], jobs)
+                    .pop()
+                    .expect("one row")
+                    .to_vec(),
+            )),
+        },
+        Request::TopK { u, k } => match check(&[*u]) {
+            Err(e) => e,
+            Ok(()) => {
+                let row = fetch_rows(&generation, &[*u], jobs).pop().expect("one row");
+                ok(ResponseBody::Ranking(topk::top_k_scores(
+                    &row,
+                    *u,
+                    *k as usize,
+                )))
+            }
+        },
+        Request::SingleSourceBatch { us } => match check(us) {
+            Err(e) => e,
+            Ok(()) => ok(ResponseBody::Rows(
+                fetch_rows(&generation, us, jobs)
+                    .into_iter()
+                    .map(|row| row.to_vec())
+                    .collect(),
+            )),
+        },
+        Request::TopKBatch { k, us } => match check(us) {
+            Err(e) => e,
+            Ok(()) => ok(ResponseBody::Rankings(
+                fetch_rows(&generation, us, jobs)
+                    .into_iter()
+                    .zip(us)
+                    .map(|(row, &u)| topk::top_k_scores(&row, u, *k as usize))
+                    .collect(),
+            )),
+        },
+        Request::Stats => ok(ResponseBody::Stats(ServerStats {
+            order: n as u32,
+            cache_hits: generation.cache.hits(),
+            cache_misses: generation.cache.misses(),
+            cached_rows: generation.cache.len() as u64,
+            served: shared.served.load(Ordering::Relaxed),
+            reloads: shared.reloads.load(Ordering::Relaxed),
+        })),
+        Request::Reload => match &shared.source {
+            None => Response::Err("no reload source configured".into()),
+            Some(source) => match source.load() {
+                Err(e) => Response::Err(format!("reload failed: {e}")),
+                Ok(engine) => {
+                    let mut current = shared.current.write().expect("generation lock");
+                    let next = Arc::new(Generation::new(current.id + 1, engine, &shared.config));
+                    let id = next.id;
+                    *current = next;
+                    shared.reloads.fetch_add(1, Ordering::Relaxed);
+                    Response::Ok {
+                        generation: id,
+                        body: ResponseBody::Reloaded,
+                    }
+                }
+            },
+        },
+    }
+}
+
+/// The rows for `us` (already range-checked) from one generation: cache
+/// hits immediately, misses queued to the batcher *first* and collected
+/// *after*, so a multi-row request's misses coalesce into one dispatch.
+fn fetch_rows(
+    generation: &Arc<Generation>,
+    us: &[NodeId],
+    jobs: &Sender<Job>,
+) -> Vec<Arc<Vec<f64>>> {
+    let mut rows: Vec<Option<Arc<Vec<f64>>>> =
+        us.iter().map(|&u| generation.cache.get(u)).collect();
+    let mut pending: Vec<(usize, mpsc::Receiver<Arc<Vec<f64>>>)> = Vec::new();
+    for (i, &u) in us.iter().enumerate() {
+        if rows[i].is_none() {
+            let (tx, rx) = mpsc::channel();
+            jobs.send(Job {
+                generation: Arc::clone(generation),
+                u,
+                reply: tx,
+            })
+            .expect("batcher thread alive while connections are");
+            pending.push((i, rx));
+        }
+    }
+    for (i, rx) in pending {
+        rows[i] = Some(rx.recv().expect("batcher answers every job"));
+    }
+    rows.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// The batcher: drains every queued job, groups by generation, computes
+/// each group's distinct sources in **one** pool-sharded batch call,
+/// caches the rows, and replies.
+fn batcher_loop(rx: Receiver<Job>, shared: Arc<Shared>) {
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        while jobs.len() < shared.config.max_batch {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        // Group by generation (a reload mid-queue may interleave jobs
+        // against two generations; each group answers from its own).
+        while !jobs.is_empty() {
+            let gen_id = jobs[0].generation.id;
+            let (batch, rest): (Vec<Job>, Vec<Job>) =
+                jobs.into_iter().partition(|j| j.generation.id == gen_id);
+            jobs = rest;
+            dispatch(batch, &shared);
+        }
+    }
+}
+
+/// Computes one generation-homogeneous batch and replies to every job.
+fn dispatch(batch: Vec<Job>, shared: &Shared) {
+    let generation = Arc::clone(&batch[0].generation);
+    let mut sources: Vec<NodeId> = batch.iter().map(|j| j.u).collect();
+    sources.sort_unstable();
+    sources.dedup();
+    let rows: Vec<Arc<Vec<f64>>> = generation
+        .engine
+        .single_source_batch(&sources, shared.config.threads)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    for (u, row) in sources.iter().zip(&rows) {
+        generation.cache.insert(*u, Arc::clone(row));
+    }
+    for job in batch {
+        let at = sources.binary_search(&job.u).expect("source present");
+        // A dropped receiver (client hung up mid-request) is fine.
+        let _ = job.reply.send(Arc::clone(&rows[at]));
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests for the serving layer: the wire codec round-trips
+//! arbitrary values, a cache-warm server answers bit-for-bit what a
+//! cache-cold server answers, and mid-stream reloads never produce a
+//! torn generation.
+
+use proptest::prelude::*;
+use simrank_core::oip::oip_simrank;
+use simrank_core::query::QueryEngine;
+use simrank_core::SimRankOptions;
+use simrank_graph::{DiGraph, NodeId};
+use simrank_serve::protocol::{Request, Response, ResponseBody, ServerStats};
+use simrank_serve::{serve, Client, EngineSource, ServerConfig};
+
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (4usize..20).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..(4 * n))
+            .prop_map(move |edges| DiGraph::from_edges(n, edges).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Requests and responses round-trip through the codec for
+    /// arbitrary payloads, including batch shapes and exotic floats.
+    #[test]
+    fn wire_codec_round_trips(
+        u in 0u32..1000,
+        k in 0u32..50,
+        us in proptest::collection::vec(0u32..1000, 0..20),
+        mut row in proptest::collection::vec(-1.0f64..1.0, 0..30),
+        generation in 0u64..u64::MAX,
+    ) {
+        // Exotic floats the codec must carry bit-exactly.
+        row.extend([-0.0, f64::MIN_POSITIVE, 1e-310, f64::NAN, f64::INFINITY]);
+        for req in [
+            Request::SingleSource { u },
+            Request::TopK { u, k },
+            Request::SingleSourceBatch { us: us.clone() },
+            Request::TopKBatch { k, us: us.clone() },
+            Request::Stats,
+            Request::Reload,
+        ] {
+            prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+        let bodies = [
+            ResponseBody::Row(row.clone()),
+            ResponseBody::Rows(vec![row.clone(), Vec::new()]),
+            ResponseBody::Ranking(us.iter().map(|&v| (v, 0.5)).collect()),
+            ResponseBody::Stats(ServerStats {
+                order: u,
+                cache_hits: generation,
+                cache_misses: 1,
+                cached_rows: 2,
+                served: 3,
+                reloads: 4,
+            }),
+            ResponseBody::Reloaded,
+        ];
+        for body in bodies {
+            let resp = Response::Ok { generation, body };
+            let back = Response::decode(&resp.encode()).unwrap();
+            // Bit-level equality (PartialEq on f64 would reject NaN).
+            prop_assert_eq!(back.encode(), resp.encode());
+        }
+    }
+
+    /// The cache property: a cache-warm server returns bit-for-bit the
+    /// same *bytes* as a cache-cold one — across repeated queries on
+    /// one server (cold miss, then warm hits) and across two servers,
+    /// one with the cache disabled entirely.
+    #[test]
+    fn warm_and_cold_servers_answer_identical_bytes(
+        g in arb_graph(),
+        queries in proptest::collection::vec((0usize..1000, 1u32..8), 1..12),
+    ) {
+        let n = g.node_count();
+        let scores = oip_simrank(&g, &SimRankOptions::default().with_iterations(6));
+        let cached = serve(
+            Box::new(scores.clone()),
+            None,
+            ServerConfig { cache_capacity: 64, ..ServerConfig::default() },
+        ).unwrap();
+        let uncached = serve(
+            Box::new(scores),
+            None,
+            ServerConfig { cache_capacity: 0, ..ServerConfig::default() },
+        ).unwrap();
+        let mut warm = Client::connect(cached.addr()).unwrap();
+        let mut cold = Client::connect(uncached.addr()).unwrap();
+        // Two passes over the same trace: pass 0 fills the cache, pass 1
+        // is fully warm. Every response must match the cache-disabled
+        // server byte for byte.
+        for pass in 0..2 {
+            for &(uq, k) in &queries {
+                let u = (uq % n) as NodeId;
+                for req in [
+                    Request::SingleSource { u },
+                    Request::TopK { u, k },
+                    Request::SingleSourceBatch { us: vec![u, u, (uq % n.max(1)) as NodeId] },
+                    Request::TopKBatch { k, us: vec![u] },
+                ] {
+                    let body = req.encode();
+                    let from_warm = warm.exchange_raw(&body).unwrap();
+                    let from_cold = cold.exchange_raw(&body).unwrap();
+                    prop_assert_eq!(
+                        &from_warm,
+                        &from_cold,
+                        "pass {} query {:?} diverged between warm and cold",
+                        pass,
+                        req
+                    );
+                }
+            }
+        }
+        cached.shutdown();
+        uncached.shutdown();
+    }
+
+    /// The reload property: with reloads firing between (and racing)
+    /// queries, every response is entirely from the generation it
+    /// claims — old or new, never mixed.
+    #[test]
+    fn reload_mid_stream_is_old_or_new_never_mixed(
+        g in arb_graph(),
+        trace in proptest::collection::vec(0usize..1000, 4..20),
+        reload_every in 1usize..5,
+    ) {
+        let n = g.node_count();
+        let old = oip_simrank(&g, &SimRankOptions::default().with_iterations(2));
+        let new = oip_simrank(&g, &SimRankOptions::default().with_iterations(10));
+        let rows_old: Vec<Vec<f64>> =
+            (0..n as NodeId).map(|u| QueryEngine::single_source(&old, u)).collect();
+        let rows_new: Vec<Vec<f64>> =
+            (0..n as NodeId).map(|u| QueryEngine::single_source(&new, u)).collect();
+        let source = {
+            let new = new.clone();
+            Box::new(move || -> Result<Box<dyn QueryEngine>, String> {
+                Ok(Box::new(new.clone()))
+            }) as Box<dyn EngineSource>
+        };
+        let server = serve(Box::new(old), Some(source), ServerConfig::default()).unwrap();
+        let addr = server.addr();
+
+        // A background reloader racing the query stream.
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reloader = {
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    client.reload().unwrap();
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        let mut client = Client::connect(addr).unwrap();
+        for (i, &uq) in trace.iter().enumerate() {
+            if i % reload_every == 0 {
+                client.reload().unwrap();
+            }
+            let us: Vec<NodeId> = vec![(uq % n) as NodeId, ((uq + 1) % n) as NodeId];
+            let (generation, rows) = client.single_source_batch(&us).unwrap();
+            // Generation 1 is the original engine; every reload serves
+            // the new one.
+            let expect = if generation == 1 { &rows_old } else { &rows_new };
+            for (row, &u) in rows.iter().zip(&us) {
+                let want = &expect[u as usize];
+                prop_assert_eq!(row.len(), want.len());
+                for (a, b) in row.iter().zip(want) {
+                    prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "generation {} served a torn row for vertex {}", generation, u
+                    );
+                }
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        reloader.join().unwrap();
+        server.shutdown();
+    }
+}

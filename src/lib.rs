@@ -19,6 +19,10 @@
 //!   thresholded sparse — all behind one `ScoreStore` trait).
 //! * [`eval`] — ranking metrics (NDCG, Kendall τ, top-k overlap).
 //! * [`datasets`] — simulated stand-ins for the paper's datasets.
+//! * [`serve`] — the std-only TCP query server over the unified
+//!   [`QueryEngine`](simrank_core::query::QueryEngine) trait: binary
+//!   wire protocol, sharded LRU row cache, cross-connection request
+//!   batching, and atomic generation reload.
 //!
 //! # Quickstart
 //!
@@ -70,6 +74,7 @@ pub use simrank_graph as graph;
 pub use simrank_linalg as linalg;
 pub use simrank_mst as mst;
 pub use simrank_par as par;
+pub use simrank_serve as serve;
 
 /// Convenient glob-import surface: the types and entry points most programs
 /// need — one name per row of the algorithm table in [`simrank_core`].
@@ -83,6 +88,7 @@ pub mod prelude {
         oip::oip_simrank,
         prank::{prank, PRankOptions},
         psum::psum_simrank,
+        query::QueryEngine,
         store::{simrank_stored, ScoreStore, StoreAlgo, StoredScores},
         topk::{top_k, top_k_ids},
         CostModel, ScoreBackend, SimMatrix, SimRankOptions,

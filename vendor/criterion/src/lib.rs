@@ -44,6 +44,19 @@ fn runs() -> u32 {
 /// Measurements recorded by this harness run, in execution order.
 static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
 
+/// Records a pre-computed measurement under `id`, alongside the timings
+/// the `iter` loop collects. For derived metrics a harness computes
+/// itself — percentile latencies, throughput — that should still land in
+/// the printed table and the `BENCH_<harness>.json` report.
+pub fn record_measurement(id: impl Into<String>, value: u128) {
+    let id = id.into();
+    println!("bench {id:<50} {value:>14} ns/iter");
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push((id, value));
+}
+
 /// Top-level benchmark driver.
 #[derive(Default)]
 pub struct Criterion {}
