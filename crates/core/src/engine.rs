@@ -128,7 +128,10 @@ pub fn run(
 
     // One persistent pool for the whole run: the workers park between
     // iterations instead of being re-spawned, and each iteration's replay
-    // is a single barrier-synchronized sweep.
+    // is a single barrier-synchronized sweep. Sweep items are plain worker
+    // indices, hoisted once and recycled through `sweep_drain` so the
+    // queue buffer is allocated a single time for the whole run.
+    let mut items: Vec<usize> = Vec::with_capacity(shares.len());
     par::WorkerPool::scoped(workers, |pool| {
         for k in 0..iterations {
             next.clear();
@@ -137,9 +140,13 @@ pub fn run(
                 // per iteration and workers own disjoint segment sets, so
                 // each row of `next` is written by exactly one worker.
                 let writer = par::RowWriter::new(next.data_mut(), n.max(1));
-                let items: Vec<_> = shares.iter().zip(states.iter_mut()).collect();
-                counter.add(pool.sweep(items, |(share, state), counter| {
-                    for &seg in share.iter() {
+                let slots = par::SlotWriter::new(&mut states);
+                items.extend(0..shares.len());
+                counter.add(pool.sweep_drain(&mut items, |wi, counter| {
+                    // SAFETY (SlotWriter): each worker index appears exactly
+                    // once per sweep, so state `wi` is this item's alone.
+                    let state = unsafe { slots.slot_mut(wi) };
+                    for &seg in shares[wi].iter() {
                         replay_segment(
                             g,
                             plan,
@@ -332,22 +339,16 @@ fn emit_source(
             let val = match &plan.ops[wt] {
                 EdgeOp::Scratch => {
                     let ins = g.in_neighbors(plan.targets[wt]);
-                    let mut s = 0.0;
-                    for &y in ins {
-                        s += partial[y as usize];
-                    }
+                    let s = par::kernel::gather_sum(partial, ins);
                     counter.add((ins.len() as u64).saturating_sub(1));
                     s
                 }
                 EdgeOp::Update { sub, add } => {
                     let parent = plan.arb.parent(node).expect("non-root node has a parent");
-                    let mut s = outer[parent];
-                    for &y in sub.iter() {
-                        s -= partial[y as usize];
-                    }
-                    for &y in add.iter() {
-                        s += partial[y as usize];
-                    }
+                    // Proposition 4 delta as two lane-chunked gathers over
+                    // the symmetric-difference lists.
+                    let s = outer[parent] - par::kernel::gather_sum(partial, sub)
+                        + par::kernel::gather_sum(partial, add);
                     counter.add((sub.len() + add.len()) as u64);
                     s
                 }
@@ -367,10 +368,7 @@ fn emit_source(
                 continue;
             }
             let ins = g.in_neighbors(w);
-            let mut s = 0.0;
-            for &y in ins {
-                s += partial[y as usize];
-            }
+            let s = par::kernel::gather_sum(partial, ins);
             counter.add((ins.len() as u64).saturating_sub(1));
             write_score(row, opts, damping, w as usize, du, in_deg[wt], s);
         }

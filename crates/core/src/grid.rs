@@ -1,6 +1,7 @@
 //! Full-square iteration workspace for similarity scores.
 
 use crate::matrix::SimMatrix;
+use crate::par::kernel;
 
 /// A full (non-packed) `n × n` score matrix used *inside* iterations.
 ///
@@ -95,29 +96,29 @@ impl ScoreGrid {
         &mut self.data[a * self.n..(a + 1) * self.n]
     }
 
-    /// `out[y] += self[x][y]` for all y — contiguous row accumulation.
+    /// `out[y] += self[x][y]` for all y — contiguous row accumulation
+    /// through [`kernel::accumulate`] (bitwise identical to the historical
+    /// scalar loop).
     #[inline]
     pub fn add_row_into(&self, x: usize, out: &mut [f64]) {
-        for (o, v) in out.iter_mut().zip(self.row(x)) {
-            *o += *v;
-        }
+        kernel::accumulate(out, self.row(x));
     }
 
     /// `out[y] -= self[x][y]` for all y.
     #[inline]
     pub fn sub_row_from(&self, x: usize, out: &mut [f64]) {
-        for (o, v) in out.iter_mut().zip(self.row(x)) {
-            *o -= *v;
-        }
+        kernel::subtract(out, self.row(x));
     }
 
     /// Splits the grid into disjoint mutable row bands, one per range.
     ///
     /// `bands` must be ascending, non-overlapping row ranges within
     /// `0..=n`. Rows between consecutive bands are skipped (left borrowed
-    /// by no one). This is the safe sharding primitive behind the parallel
-    /// `naive`/`psum` sweeps: each worker receives one band and can never
-    /// alias another worker's rows.
+    /// by no one). This is the fully-safe sharding primitive: each worker
+    /// receives one band and can never alias another worker's rows. (The
+    /// internal sweeps now shard through the allocation-free
+    /// `par::RowWriter` instead, which hands out the same disjoint rows
+    /// without materializing a `Vec` of borrows each iteration.)
     pub fn row_bands_mut(&mut self, bands: &[std::ops::Range<usize>]) -> Vec<&mut [f64]> {
         let n = self.n;
         let mut out = Vec::with_capacity(bands.len());
@@ -158,31 +159,27 @@ impl ScoreGrid {
     /// `self += alpha · other`.
     pub fn add_assign_scaled(&mut self, other: &ScoreGrid, alpha: f64) {
         assert_eq!(self.n, other.n);
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * *b;
-        }
+        kernel::axpy(&mut self.data, alpha, &other.data);
     }
 
-    /// Largest absolute entry difference.
+    /// Largest absolute entry difference (lane-chunked
+    /// [`kernel::max_abs_diff`]; `f64::max` is associative, so the value
+    /// equals the sequential fold exactly).
     pub fn max_abs_diff(&self, other: &ScoreGrid) -> f64 {
         assert_eq!(self.n, other.n);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+        kernel::max_abs_diff(&self.data, &other.data)
     }
 
     /// Copies the (authoritative) upper triangle of each row into the
     /// strictly-lower triangle of the rows below it: `(a, b) ← (b, a)` for
     /// all `b < a`. This is the sequential form of the post-pass every
     /// triangular sweep runs before the next iteration reads full rows;
-    /// `par::mirror_upper_to_lower` shards it by row weight.
+    /// `par::mirror_upper_to_lower` shards the same cache-blocked body
+    /// ([`kernel::mirror_lower_rows`]) by row weight.
     pub fn mirror_upper_to_lower(&mut self) {
-        for a in 1..self.n {
-            for b in 0..a {
-                self.data[a * self.n + b] = self.data[b * self.n + a];
-            }
-        }
+        // SAFETY: exclusive `&mut self` access; this single call owns
+        // every row of the square buffer.
+        unsafe { kernel::mirror_lower_rows(self.data.as_mut_ptr(), self.n, 1..self.n) };
     }
 
     /// Converts to packed symmetric storage — a straight copy of the upper

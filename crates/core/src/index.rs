@@ -147,22 +147,14 @@ pub struct SimRankIndex {
 /// function of the graph — never of scheduling.
 fn reverse_step(g: &DiGraph, inv_in: &[f64], cur: &[f64], next: &mut [f64]) {
     for (j, slot) in next.iter_mut().enumerate() {
-        let mut acc = 0.0;
-        for &i in g.out_neighbors(j as NodeId) {
-            acc += cur[i as usize] * inv_in[i as usize];
-        }
-        *slot = acc;
+        *slot = par::kernel::gather_dot(cur, inv_in, g.out_neighbors(j as NodeId));
     }
 }
 
 /// One forward step `next ← Q·cur`: row `i` of `Q` averages over `I(i)`.
 fn forward_step(g: &DiGraph, inv_in: &[f64], cur: &[f64], next: &mut [f64]) {
     for (i, slot) in next.iter_mut().enumerate() {
-        let mut acc = 0.0;
-        for &j in g.in_neighbors(i as NodeId) {
-            acc += cur[j as usize];
-        }
-        *slot = acc * inv_in[i];
+        *slot = par::kernel::gather_sum(cur, g.in_neighbors(i as NodeId)) * inv_in[i];
     }
 }
 
@@ -206,14 +198,12 @@ fn constraint_row_dot(
     for _ in 0..depth {
         reverse_step(g, inv_in, cur, nxt);
         ck *= c;
-        let mut dot = 0.0;
-        let mut nnz = 0u64;
-        for (j, &h) in nxt.iter().enumerate() {
-            if h != 0.0 {
-                dot += h * h * x[j];
-                nnz += 1;
-            }
-        }
+        // Σ h²·x as one dense lane-chunked kernel: zero-weight terms
+        // contribute an exact zero to their lane, so dropping the
+        // sparsity guard cannot perturb the sum and the loop stays
+        // branch-free. The op count still bills only the nonzeros.
+        let dot = par::kernel::weighted_sq_dot(nxt, x);
+        let nnz = nxt.iter().filter(|&&h| h != 0.0).count() as u64;
         acc += ck * dot;
         ops.add(m_edges + nnz + 1);
         std::mem::swap(cur, nxt);
@@ -258,58 +248,67 @@ fn constraint_row_scatter(
 }
 
 /// `out[a] = ⟨m_a, x⟩` for every vertex — the matrix-free `M·x`, sharded
-/// by contiguous vertex blocks with disjoint per-vertex writes. Returns
+/// by contiguous vertex blocks with disjoint per-vertex writes. `blocks`
+/// is the fixed vertex partition and `items` a recycled index buffer, both
+/// hoisted by the caller so the per-round sweeps allocate nothing. Returns
 /// the merged add count.
+#[allow(clippy::too_many_arguments)]
 fn apply_constraint(
     g: &DiGraph,
     inv_in: &[f64],
     c: f64,
     depth: u32,
     pool: &mut par::WorkerPool<'_>,
+    blocks: &[std::ops::Range<usize>],
+    items: &mut Vec<usize>,
     x: &[f64],
     out: &mut [f64],
 ) -> u64 {
     let n = out.len();
-    let row_blocks = par::blocks(n, pool.workers());
-    let mut items = Vec::with_capacity(row_blocks.len());
-    let mut rest: &mut [f64] = out;
-    for rows in &row_blocks {
-        let (chunk, tail) = rest.split_at_mut(rows.len());
-        rest = tail;
-        items.push((rows.clone(), chunk));
-    }
-    pool.sweep(items, |(rows, chunk), ops| {
+    // SAFETY (SlotWriter): the blocks partition `0..n`, so each element of
+    // `out` is written by exactly one item.
+    let slots = par::SlotWriter::new(out);
+    items.extend(0..blocks.len());
+    pool.sweep_drain(items, |bi, ops| {
         let mut cur = vec![0.0f64; n];
         let mut nxt = vec![0.0f64; n];
-        for a in rows.clone() {
-            chunk[a - rows.start] =
-                constraint_row_dot(g, inv_in, c, depth, a, x, &mut cur, &mut nxt, ops);
+        for a in blocks[bi].clone() {
+            let v = constraint_row_dot(g, inv_in, c, depth, a, x, &mut cur, &mut nxt, ops);
+            unsafe { *slots.slot_mut(a) = v };
         }
     })
 }
 
 /// `out = Mᵀ·x`, matrix-free: rows scatter `x[a]·m_a` into per-shard
-/// accumulators over the fixed [`TRANSPOSE_SHARDS`]-way partition, then
-/// the shards fold in ascending index order — a summation tree that is a
-/// pure function of `n`, so the result is bit-identical at every pool
-/// width. Returns the merged add count.
+/// accumulators over the fixed [`TRANSPOSE_SHARDS`]-way partition
+/// (`shards`, hoisted by the caller along with the flat `shards.len() × n`
+/// accumulator arena and the recycled `items` buffer), then the shards
+/// fold in ascending index order — a summation tree that is a pure
+/// function of `n`, so the result is bit-identical at every pool width.
+/// Returns the merged add count.
+#[allow(clippy::too_many_arguments)]
 fn apply_constraint_transpose(
     g: &DiGraph,
     inv_in: &[f64],
     c: f64,
     depth: u32,
     pool: &mut par::WorkerPool<'_>,
+    shards: &[std::ops::Range<usize>],
+    items: &mut Vec<usize>,
+    partials: &mut [f64],
     x: &[f64],
     out: &mut [f64],
 ) -> u64 {
     let n = out.len();
-    let shards = par::blocks(n, TRANSPOSE_SHARDS.min(n.max(1)));
-    let mut partials: Vec<Vec<f64>> = vec![vec![0.0f64; n]; shards.len()];
-    let items: Vec<_> = shards.iter().cloned().zip(partials.iter_mut()).collect();
-    let adds = pool.sweep(items, |(rows, acc), ops| {
+    partials.fill(0.0);
+    // SAFETY (RowWriter): accumulator row `si` belongs to shard `si` alone.
+    let scratch = par::RowWriter::new(partials, n);
+    items.extend(0..shards.len());
+    let adds = pool.sweep_drain(items, |si, ops| {
+        let acc = unsafe { scratch.row_mut(si) };
         let mut cur = vec![0.0f64; n];
         let mut nxt = vec![0.0f64; n];
-        for a in rows.clone() {
+        for a in shards[si].clone() {
             // Zero-weight rows contribute nothing; skipping them is a
             // pure function of the values, so determinism is unaffected.
             if x[a] != 0.0 {
@@ -318,10 +317,8 @@ fn apply_constraint_transpose(
         }
     });
     out.fill(0.0);
-    for part in &partials {
-        for (slot, &v) in out.iter_mut().zip(part) {
-            *slot += v;
-        }
+    for part in partials.chunks_exact(n) {
+        par::kernel::accumulate(out, part);
     }
     adds
 }
@@ -358,6 +355,14 @@ impl SimRankIndex {
         let workers = par::effective_workers(opts.threads, n);
         if n > 0 {
             par::WorkerPool::scoped(workers, |pool| {
+                // Fixed sweep structure for the whole solve: the vertex
+                // partitions, the recycled item-index buffer, and the
+                // transpose scatter arena are allocated once here — the
+                // per-round `M`/`Mᵀ` applies allocate nothing.
+                let blocks = par::blocks(n, pool.workers());
+                let shards = par::blocks(n, TRANSPOSE_SHARDS.min(n));
+                let mut items: Vec<usize> = Vec::with_capacity(blocks.len().max(shards.len()));
+                let mut partials = vec![0.0f64; shards.len() * n];
                 let mut scratch = vec![0.0f64; n];
                 // r = 𝟙 − M·d.
                 counter.add(apply_constraint(
@@ -366,6 +371,8 @@ impl SimRankIndex {
                     c,
                     depth,
                     pool,
+                    &blocks,
+                    &mut items,
                     &d,
                     &mut scratch,
                 ));
@@ -373,14 +380,28 @@ impl SimRankIndex {
                 // s = Mᵀ·r; p = s; γ = ‖s‖².
                 let mut s = vec![0.0f64; n];
                 counter.add(apply_constraint_transpose(
-                    g, &inv_in, c, depth, pool, &r, &mut s,
+                    g,
+                    &inv_in,
+                    c,
+                    depth,
+                    pool,
+                    &shards,
+                    &mut items,
+                    &mut partials,
+                    &r,
+                    &mut s,
                 ));
                 let mut p = s.clone();
                 let mut gamma: f64 = s.iter().map(|&v| v * v).sum();
                 let mut r_inf = r.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
                 // CGLS proper: every scalar below is reduced sequentially
                 // from vectors that are themselves thread-invariant, so
-                // round count and every iterate are too.
+                // round count and every iterate are too. (The sequential
+                // reduction order is load-bearing: the `γ`/`δ`/`r_inf`
+                // bits steer the round count, which the exact op-count
+                // baselines pin — so these three folds deliberately keep
+                // the historical scalar association instead of the
+                // lane-chunked kernels.)
                 while rounds < MAX_SOLVER_ROUNDS && r_inf > tol && gamma > 0.0 {
                     // q = M·p; α = γ / ‖q‖².
                     counter.add(apply_constraint(
@@ -389,6 +410,8 @@ impl SimRankIndex {
                         c,
                         depth,
                         pool,
+                        &blocks,
+                        &mut items,
                         &p,
                         &mut scratch,
                     ));
@@ -397,23 +420,29 @@ impl SimRankIndex {
                         break;
                     }
                     let alpha = gamma / delta;
-                    for (dv, &pv) in d.iter_mut().zip(&p) {
-                        *dv += alpha * pv;
-                    }
-                    for (rv, &qv) in r.iter_mut().zip(&scratch) {
-                        *rv -= alpha * qv;
-                    }
+                    // d += α·p and r −= α·q as elementwise kernels —
+                    // bitwise identical to the historical scalar loops
+                    // (`−α·q` negates exactly).
+                    par::kernel::axpy(&mut d, alpha, &p);
+                    par::kernel::axpy(&mut r, -alpha, &scratch);
                     counter.add(2 * n as u64);
                     // s = Mᵀ·r; β = ‖s_new‖² / ‖s_old‖²; p = s + β·p.
                     counter.add(apply_constraint_transpose(
-                        g, &inv_in, c, depth, pool, &r, &mut s,
+                        g,
+                        &inv_in,
+                        c,
+                        depth,
+                        pool,
+                        &shards,
+                        &mut items,
+                        &mut partials,
+                        &r,
+                        &mut s,
                     ));
                     let gamma_next: f64 = s.iter().map(|&v| v * v).sum();
                     let beta = gamma_next / gamma;
                     gamma = gamma_next;
-                    for (pv, &sv) in p.iter_mut().zip(&s) {
-                        *pv = sv + beta * *pv;
-                    }
+                    par::kernel::scaled_accumulate(&mut p, beta, &s);
                     counter.add(n as u64);
                     r_inf = r.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
                     rounds += 1;
@@ -428,6 +457,8 @@ impl SimRankIndex {
                     c,
                     depth,
                     pool,
+                    &blocks,
+                    &mut items,
                     &d,
                     &mut scratch,
                 ));

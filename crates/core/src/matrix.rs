@@ -1,5 +1,7 @@
 //! Packed symmetric storage for all-pairs similarity scores.
 
+use crate::par::kernel;
+
 /// A symmetric `n × n` matrix stored as the lower triangle
 /// (`n(n+1)/2` entries), with `get`/`set` insensitive to argument order.
 ///
@@ -92,13 +94,14 @@ impl SimMatrix {
     }
 
     /// `out[y] += s(x, y)` for all `y` — one partial-sum accumulation.
+    /// The contiguous prefix (`y ≤ x`) routes through
+    /// [`kernel::accumulate`]; the strided suffix keeps its incremental
+    /// index walk (its access pattern does not vectorize).
     pub fn add_row_into(&self, x: usize, out: &mut [f64]) {
         debug_assert_eq!(out.len(), self.n);
         let base = tri(x);
         // y ≤ x: contiguous slice of row x.
-        for (o, v) in out[..=x].iter_mut().zip(&self.data[base..base + x + 1]) {
-            *o += *v;
-        }
+        kernel::accumulate(&mut out[..=x], &self.data[base..base + x + 1]);
         // y > x: entry (y, x) at tri(y) + x; advance tri(y) incrementally.
         let mut idx = tri(x + 1) + x;
         for (dy, o) in out[x + 1..].iter_mut().enumerate() {
@@ -112,9 +115,7 @@ impl SimMatrix {
     pub fn sub_row_from(&self, x: usize, out: &mut [f64]) {
         debug_assert_eq!(out.len(), self.n);
         let base = tri(x);
-        for (o, v) in out[..=x].iter_mut().zip(&self.data[base..base + x + 1]) {
-            *o -= *v;
-        }
+        kernel::subtract(&mut out[..=x], &self.data[base..base + x + 1]);
         let mut idx = tri(x + 1) + x;
         for (dy, o) in out[x + 1..].iter_mut().enumerate() {
             *o -= self.data[idx];
@@ -151,23 +152,18 @@ impl SimMatrix {
     /// Largest absolute entry difference — the `‖·‖max` convergence metric.
     pub fn max_abs_diff(&self, other: &SimMatrix) -> f64 {
         assert_eq!(self.n, other.n, "order mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+        kernel::max_abs_diff(&self.data, &other.data)
     }
 
     /// Largest absolute entry.
     pub fn max_norm(&self) -> f64 {
-        self.data.iter().fold(0.0f64, |m, &a| m.max(a.abs()))
+        kernel::max_abs(&self.data)
     }
 
     /// `self += alpha · other` — the differential accumulation step.
     pub fn add_assign_scaled(&mut self, other: &SimMatrix, alpha: f64) {
         assert_eq!(self.n, other.n, "order mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * *b;
-        }
+        kernel::axpy(&mut self.data, alpha, &other.data);
     }
 
     /// Heap footprint in bytes.

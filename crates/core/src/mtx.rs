@@ -175,11 +175,10 @@ fn mtx_pooled(
         for b in band {
             let u_row = u.row(b);
             for a in 0..=b {
-                let g_row = gm.row(a);
-                let mut dot = 0.0;
-                for k in 0..g_row.len() {
-                    dot += g_row[k] * u_row[k];
-                }
+                // The same lane-chunked dot [`LowRankScores::get`] runs,
+                // so the densified triangle and the lazy handle stay
+                // bit-for-bit equal at the same rank.
+                let dot = par::kernel::dot(gm.row(a), u_row);
                 let base = if a == b { 1.0 } else { 0.0 };
                 slice[idx] = (1.0 - c) * (base + dot);
                 idx += 1;

@@ -51,30 +51,35 @@ pub(crate) fn naive_grid(g: &DiGraph, opts: &SimRankOptions) -> (ScoreGrid, Repo
         suffix_deg += d;
     }
     let row_blocks = par::weighted_blocks(&row_weights, workers);
+    // Sweep items are plain block indices, hoisted once and recycled
+    // through `sweep_drain` so the queue buffer is allocated a single
+    // time for the whole run instead of once per iteration.
+    let mut items: Vec<usize> = Vec::with_capacity(row_blocks.len());
     par::WorkerPool::scoped(workers, |pool| {
         for _ in 0..k_max {
             next.clear();
-            let bands = next.row_bands_mut(&row_blocks);
-            let items: Vec<_> = row_blocks.iter().cloned().zip(bands).collect();
-            counter.add(pool.sweep(items, |(rows, band), counter| {
-                let band_start = rows.start;
-                for a in rows {
+            let writer = par::RowWriter::new(next.data_mut(), n);
+            items.extend(0..row_blocks.len());
+            counter.add(pool.sweep_drain(&mut items, |bi, counter| {
+                for a in row_blocks[bi].clone() {
                     let ins_a = g.in_neighbors(a as u32);
                     if ins_a.is_empty() {
                         continue;
                     }
-                    let row_out = &mut band[(a - band_start) * n..(a - band_start + 1) * n];
+                    // SAFETY: blocks partition the row range, so row `a`
+                    // is claimed by exactly one item per sweep.
+                    let row_out = unsafe { writer.row_mut(a) };
                     for b in a + 1..n {
                         let ins_b = g.in_neighbors(b as u32);
                         if ins_b.is_empty() {
                             continue;
                         }
+                        // Lane-chunked gather over I(b), one I(a)-row at
+                        // a time — association is fixed by the kernel, so
+                        // the sum is identical on any worker count.
                         let mut sum = 0.0;
                         for &i in ins_a {
-                            let row = cur.row(i as usize);
-                            for &j in ins_b {
-                                sum += row[j as usize];
-                            }
+                            sum += par::kernel::gather_sum(cur.row(i as usize), ins_b);
                         }
                         counter.add(((ins_a.len() * ins_b.len()) as u64).saturating_sub(1));
                         let mut val = c / (ins_a.len() as f64 * ins_b.len() as f64) * sum;

@@ -18,8 +18,8 @@
 //! [`OpCounter`](crate::instrument::OpCounter).
 
 pub use simrank_par::{
-    balance, blocks, default_workers, effective_workers, round_robin_rounds, run_sharded,
-    weighted_blocks, RowWriter, WorkerPool,
+    balance, blocks, default_workers, effective_workers, kernel, round_robin_rounds, run_sharded,
+    weighted_blocks, RowWriter, SlotWriter, WorkerPool,
 };
 
 use crate::grid::ScoreGrid;

@@ -117,6 +117,10 @@ pub fn prank_with_report(g: &DiGraph, opts: &PRankOptions) -> (SimMatrix, Report
         })
         .collect();
 
+    // Sweep items are plain worker indices, hoisted once and recycled
+    // through `sweep_drain` by both direction passes so the queue buffer
+    // is allocated a single time for the whole run.
+    let mut items: Vec<usize> = Vec::with_capacity(workers);
     par::WorkerPool::scoped(workers, |pool| {
         for _ in 0..k_max {
             next.clear();
@@ -129,6 +133,7 @@ pub fn prank_with_report(g: &DiGraph, opts: &PRankOptions) -> (SimMatrix, Report
                     &mut next,
                     &in_shares,
                     &mut states,
+                    &mut items,
                     in_factor,
                     pool,
                 ));
@@ -143,6 +148,7 @@ pub fn prank_with_report(g: &DiGraph, opts: &PRankOptions) -> (SimMatrix, Report
                     &mut next,
                     &out_shares,
                     &mut states,
+                    &mut items,
                     out_factor,
                     pool,
                 ));
@@ -185,6 +191,7 @@ fn half_pass(
     next: &mut ScoreGrid,
     shares: &[Vec<usize>],
     states: &mut [HalfState],
+    items: &mut Vec<usize>,
     factor: f64,
     pool: &mut par::WorkerPool<'_>,
 ) -> u64 {
@@ -196,9 +203,13 @@ fn half_pass(
     // is touched by exactly one worker.
     let n = next.order();
     let writer = par::RowWriter::new(next.data_mut(), n.max(1));
-    let items: Vec<_> = shares.iter().zip(states.iter_mut()).collect();
-    pool.sweep(items, |(share, state), counter| {
-        for &seg in share.iter() {
+    let slots = par::SlotWriter::new(states);
+    items.extend(0..shares.len());
+    pool.sweep_drain(items, |wi, counter| {
+        // SAFETY (SlotWriter): each worker index appears exactly once per
+        // sweep, so state `wi` is this item's alone.
+        let state = unsafe { slots.slot_mut(wi) };
+        for &seg in shares[wi].iter() {
             replay_half_segment(
                 g,
                 plan,
@@ -294,17 +305,14 @@ fn replay_half_segment(
                         EdgeOp::Scratch => {
                             let ins = g.in_neighbors(plan.targets[wt]);
                             counter.add((ins.len() as u64).saturating_sub(1));
-                            ins.iter().map(|&y| partial[y as usize]).sum()
+                            par::kernel::gather_sum(partial, ins)
                         }
                         EdgeOp::Update { sub, add } => {
                             let parent = plan.arb.parent(node).expect("non-root");
-                            let mut s = outer[parent];
-                            for &y in sub.iter() {
-                                s -= partial[y as usize];
-                            }
-                            for &y in add.iter() {
-                                s += partial[y as usize];
-                            }
+                            // Proposition 4 delta as two lane-chunked
+                            // gathers over the symmetric-difference lists.
+                            let s = outer[parent] - par::kernel::gather_sum(partial, sub)
+                                + par::kernel::gather_sum(partial, add);
                             counter.add((sub.len() + add.len()) as u64);
                             s
                         }

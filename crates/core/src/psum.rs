@@ -76,29 +76,28 @@ pub(crate) fn psum_grid(g: &DiGraph, opts: &SimRankOptions) -> (ScoreGrid, Repor
         suffix_outer += d.saturating_sub(1);
     }
     let target_blocks = par::weighted_blocks(&target_weights, workers);
-    let row_bands: Vec<std::ops::Range<usize>> = target_blocks
-        .iter()
-        .map(|b| targets[b.start] as usize..targets[b.end - 1] as usize + 1)
-        .collect();
 
-    // Per-worker memoization buffers for Partial_{I(a)}(·), allocated once
-    // for the whole run.
-    let mut partials: Vec<Vec<f64>> = (0..target_blocks.len()).map(|_| vec![0.0f64; n]).collect();
+    // Per-block memoization buffers for Partial_{I(a)}(·): one flat
+    // `blocks × n` arena allocated once for the whole run, with each
+    // block claiming its own row through a `RowWriter`.
+    let mut partials_flat = vec![0.0f64; target_blocks.len() * n];
+    // Sweep items are plain block indices, hoisted once and recycled
+    // through `sweep_drain` so the queue buffer is allocated a single
+    // time for the whole run instead of once per iteration.
+    let mut items: Vec<usize> = Vec::with_capacity(target_blocks.len());
 
     // The pool is spawned once for the whole run; each iteration is one
     // barrier-synchronized sweep over the target blocks.
     par::WorkerPool::scoped(workers, |pool| {
         for _ in 0..k_max {
             next.clear();
-            let bands = next.row_bands_mut(&row_bands);
-            let items: Vec<_> = target_blocks
-                .iter()
-                .cloned()
-                .zip(bands)
-                .zip(partials.iter_mut())
-                .collect();
-            counter.add(pool.sweep(items, |((block, band), partial), counter| {
-                let band_start = targets[block.start] as usize;
+            let writer = par::RowWriter::new(next.data_mut(), n);
+            let scratch = par::RowWriter::new(&mut partials_flat, n);
+            items.extend(0..target_blocks.len());
+            counter.add(pool.sweep_drain(&mut items, |bi, counter| {
+                let block = target_blocks[bi].clone();
+                // SAFETY: scratch row `bi` belongs to this block alone.
+                let partial = unsafe { scratch.row_mut(bi) };
                 for (idx, &a) in targets.iter().enumerate().take(block.end).skip(block.start) {
                     if idx + 1 == targets.len() {
                         // No targets b > a remain: the partial sum would
@@ -114,8 +113,9 @@ pub(crate) fn psum_grid(g: &DiGraph, opts: &SimRankOptions) -> (ScoreGrid, Repor
                     }
                     counter.add((ins_a.len() as u64).saturating_sub(1) * n as u64);
                     let da = ins_a.len() as f64;
-                    let r = a as usize - band_start;
-                    let row = &mut band[r * n..(r + 1) * n];
+                    // SAFETY: `targets` ascend, so the target ids inside a
+                    // block form disjoint row sets across blocks.
+                    let row = unsafe { writer.row_mut(a as usize) };
                     // Triangular outer accumulation: `targets` ascend, so
                     // the suffix after `idx` is exactly the pair set b > a.
                     for &b in &targets[idx + 1..] {
@@ -125,11 +125,9 @@ pub(crate) fn psum_grid(g: &DiGraph, opts: &SimRankOptions) -> (ScoreGrid, Repor
                             }
                         }
                         let ins_b = g.in_neighbors(b);
-                        // Outer sum accumulated one-by-one (Eq. 5) — no sharing.
-                        let mut sum = 0.0;
-                        for &j in ins_b {
-                            sum += partial[j as usize];
-                        }
+                        // Outer sum (Eq. 5) as one lane-chunked gather
+                        // over I(b) — fixed association, thread-invariant.
+                        let sum = par::kernel::gather_sum(partial, ins_b);
                         counter.add((ins_b.len() as u64).saturating_sub(1));
                         let mut val = c / (da * ins_b.len() as f64) * sum;
                         if let Some(delta) = opts.threshold {

@@ -80,7 +80,8 @@ pub trait ScoreStore: Send + Sync {
 
     /// Largest absolute entry difference against another store (the
     /// `‖·‖max` metric), computed row-wise through the trait so any two
-    /// backends compare.
+    /// backends compare; the per-row comparison is the lane-chunked
+    /// [`par::kernel::max_abs_diff`].
     fn max_abs_diff(&self, other: &dyn ScoreStore) -> f64 {
         assert_eq!(self.order(), other.order(), "order mismatch");
         let n = self.order();
@@ -89,9 +90,7 @@ pub trait ScoreStore: Send + Sync {
         for x in 0..n {
             self.copy_row_into(x, &mut mine);
             other.copy_row_into(x, &mut theirs);
-            for (a, b) in mine.iter().zip(&theirs) {
-                worst = worst.max((a - b).abs());
-            }
+            worst = worst.max(par::kernel::max_abs_diff(&mine, &theirs));
         }
         worst
     }
@@ -215,17 +214,13 @@ impl ScoreStore for LowRankScores {
         self.u.rows()
     }
 
-    /// `O(r)`: one dot product between a cached `gm` row and a `U` row —
-    /// the exact arithmetic (and accumulation order) of the dense
-    /// densification sweep, so values match it bit-for-bit.
+    /// `O(r)`: one lane-chunked [`par::kernel::dot`] between a cached
+    /// `gm` row and a `U` row — the exact arithmetic (and accumulation
+    /// order) of the dense densification sweep, so values match it
+    /// bit-for-bit.
     fn get(&self, a: usize, b: usize) -> f64 {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        let g_row = self.gm.row(lo);
-        let u_row = self.u.row(hi);
-        let mut dot = 0.0;
-        for k in 0..g_row.len() {
-            dot += g_row[k] * u_row[k];
-        }
+        let dot = par::kernel::dot(self.gm.row(lo), self.u.row(hi));
         let base = if lo == hi { 1.0 } else { 0.0 };
         self.scale * (base + dot)
     }

@@ -1,7 +1,19 @@
 //! Row-major dense `f64` matrices.
 
-use simrank_par::{blocks, RowWriter, WorkerPool};
+use simrank_par::{blocks, kernel, RowWriter, WorkerPool};
 use std::fmt;
+use std::ops::Range;
+
+/// Output rows per matmul tile: the tile's `a`-rows plus one `bt` row
+/// stay L2-resident while each loaded `bt` row is reused across the
+/// whole tile (16 rows × ≤4 KiB/row = ≤64 KiB), cutting `bt` memory
+/// traffic by the tile height versus the row-at-a-time order.
+const MATMUL_TILE: usize = 16;
+
+/// Square tile edge for the blocked transpose: a 64 × 64 `f64` tile is
+/// 32 KiB, so the strided source reads and contiguous destination writes
+/// of one tile pair stay cache-resident.
+const TRANSPOSE_TILE: usize = 64;
 
 /// A dense row-major matrix of `f64`.
 ///
@@ -105,39 +117,55 @@ impl DenseMatrix {
         &mut self.data
     }
 
-    /// One output row of the product: `out_row[j] = self_row · btᵀ_row(j)`.
-    /// Shared by the sequential and pooled matmuls so `threads = N` runs
-    /// exactly the single-threaded per-row arithmetic — the determinism
-    /// contract is structural, not numerical.
-    #[inline]
-    fn matmul_row(a_row: &[f64], bt: &DenseMatrix, out_row: &mut [f64]) {
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = bt.row(j);
-            let mut acc = 0.0;
-            for k in 0..a_row.len() {
-                acc += a_row[k] * b_row[k];
+    /// One tile of output rows of the product: `out[i][j] =`
+    /// [`kernel::dot`]`(a_row(i), btᵀ_row(j))` for `i ∈ rows`. Shared by
+    /// the sequential and pooled matmuls, so every output element runs
+    /// exactly the same lane-chunked dot regardless of how rows are
+    /// banded across workers — the determinism contract is structural,
+    /// not numerical. The `j`-outer / `i`-inner order inside a
+    /// [`MATMUL_TILE`]-row tile reuses each loaded `bt` row across the
+    /// whole tile instead of re-streaming `bt` once per output row.
+    ///
+    /// # Safety
+    ///
+    /// `writer` must view the output buffer and no other concurrent call
+    /// may claim any row in `rows` (the caller shards disjoint bands).
+    unsafe fn matmul_band(&self, bt: &DenseMatrix, writer: &RowWriter<'_>, rows: Range<usize>) {
+        let mut i0 = rows.start;
+        while i0 < rows.end {
+            let i1 = (i0 + MATMUL_TILE).min(rows.end);
+            for j in 0..bt.rows {
+                let b_row = bt.row(j);
+                for i in i0..i1 {
+                    // SAFETY: row `i` lies in this call's disjoint band.
+                    let out_row = unsafe { writer.row_mut(i) };
+                    out_row[j] = kernel::dot(self.row(i), b_row);
+                }
             }
-            *o = acc;
+            i0 = i1;
         }
     }
 
-    /// Matrix product `self · other` with a transposed-operand inner loop
-    /// (better cache behaviour than the naive ijk order).
+    /// Matrix product `self · other` with a transposed-operand,
+    /// tile-blocked inner loop (better cache behaviour than the naive
+    /// ijk order) over the lane-chunked [`kernel::dot`].
     pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let bt = other.transpose();
         let mut out = DenseMatrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            Self::matmul_row(self.row(i), &bt, out.row_mut(i));
+        if other.cols > 0 {
+            let writer = RowWriter::new(&mut out.data, other.cols);
+            // SAFETY: one call owning every output row — nothing aliases.
+            unsafe { self.matmul_band(&bt, &writer, 0..self.rows) };
         }
         out
     }
 
     /// Matrix product `self · other` sharded by contiguous output-row
     /// bands across the worker pool. Each worker runs the exact
-    /// single-threaded per-row kernel on disjoint rows, so the product is
-    /// **bit-for-bit identical** to [`DenseMatrix::matmul`] at every
-    /// thread count.
+    /// single-threaded per-element kernel dot on disjoint rows, so the
+    /// product is **bit-for-bit identical** to [`DenseMatrix::matmul`] at
+    /// every thread count.
     pub fn matmul_with(&self, other: &DenseMatrix, pool: &mut WorkerPool<'_>) -> DenseMatrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         if pool.workers() == 1 || self.rows < 2 || other.cols == 0 {
@@ -146,24 +174,51 @@ impl DenseMatrix {
         let bt = other.transpose_with(pool);
         let mut out = DenseMatrix::zeros(self.rows, other.cols);
         let bands = blocks(self.rows, pool.workers());
-        // SAFETY (RowWriter): the bands tile 0..rows disjointly, so each
-        // output row is written by exactly one worker.
         let writer = RowWriter::new(&mut out.data, other.cols);
         pool.sweep(bands, |rows, _counter| {
-            for i in rows {
-                Self::matmul_row(self.row(i), &bt, unsafe { writer.row_mut(i) });
-            }
+            // SAFETY (RowWriter): the bands tile 0..rows disjointly, so
+            // each output row is written by exactly one worker.
+            unsafe { self.matmul_band(&bt, &writer, rows) };
         });
         out
     }
 
-    /// Transposed copy.
+    /// One band of the transposed copy: output rows `cols` (columns of
+    /// `self`), tile-blocked so the strided source reads and the
+    /// contiguous destination writes both stay cache-resident. A pure
+    /// permutation copy — identical for any banding or tiling.
+    ///
+    /// # Safety
+    ///
+    /// `writer` must view the `cols × rows` output buffer and no other
+    /// concurrent call may claim any output row in `cols`.
+    unsafe fn transpose_band(&self, writer: &RowWriter<'_>, cols: Range<usize>) {
+        let mut j0 = cols.start;
+        while j0 < cols.end {
+            let j1 = (j0 + TRANSPOSE_TILE).min(cols.end);
+            let mut i0 = 0usize;
+            while i0 < self.rows {
+                let i1 = (i0 + TRANSPOSE_TILE).min(self.rows);
+                for j in j0..j1 {
+                    // SAFETY: output row `j` lies in this call's band.
+                    let out_row = unsafe { writer.row_mut(j) };
+                    for i in i0..i1 {
+                        out_row[i] = self.data[i * self.cols + j];
+                    }
+                }
+                i0 = i1;
+            }
+            j0 = j1;
+        }
+    }
+
+    /// Transposed copy (tile-blocked via the internal `transpose_band`).
     pub fn transpose(&self) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.data[j * self.rows + i] = self.data[i * self.cols + j];
-            }
+        if self.rows > 0 {
+            let writer = RowWriter::new(&mut out.data, self.rows);
+            // SAFETY: one call owning every output row — nothing aliases.
+            unsafe { self.transpose_band(&writer, 0..self.cols) };
         }
         out
     }
@@ -179,53 +234,43 @@ impl DenseMatrix {
         }
         let mut out = DenseMatrix::zeros(self.cols, self.rows);
         let bands = blocks(self.cols, pool.workers());
-        // SAFETY (RowWriter): the bands tile 0..cols disjointly, so each
-        // output row (a column of `self`) is written by exactly one worker.
         let writer = RowWriter::new(&mut out.data, self.rows);
         pool.sweep(bands, |cols, _counter| {
-            for j in cols {
-                let out_row = unsafe { writer.row_mut(j) };
-                for (i, o) in out_row.iter_mut().enumerate() {
-                    *o = self.data[i * self.cols + j];
-                }
-            }
+            // SAFETY (RowWriter): the bands tile 0..cols disjointly, so
+            // each output row (a column of `self`) is written by exactly
+            // one worker.
+            unsafe { self.transpose_band(&writer, cols) };
         });
         out
     }
 
-    /// `self += alpha * other` (shape-checked).
+    /// `self += alpha * other` (shape-checked), through [`kernel::axpy`]
+    /// (bitwise identical to the historical scalar loop).
     pub fn add_assign_scaled(&mut self, other: &DenseMatrix, alpha: f64) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        kernel::axpy(&mut self.data, alpha, &other.data);
     }
 
     /// Scales every entry in place.
     pub fn scale(&mut self, alpha: f64) {
-        for a in &mut self.data {
-            *a *= alpha;
-        }
+        kernel::scale(&mut self.data, alpha);
     }
 
     /// Max (Chebyshev) norm — the paper's `‖·‖max` in Proposition 7.
     pub fn max_norm(&self) -> f64 {
-        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+        kernel::max_abs(&self.data)
     }
 
     /// Entry-wise max absolute difference; the convergence criterion used by
     /// the paper's accuracy arguments.
     pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0, |m, (&a, &b)| m.max((a - b).abs()))
+        kernel::max_abs_diff(&self.data, &other.data)
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm (lane-chunked sum of squares).
     pub fn fro_norm(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+        kernel::sq_sum(&self.data).sqrt()
     }
 
     /// Whether `|self - selfᵀ| ≤ tol` entry-wise (square matrices only).

@@ -24,7 +24,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::dense::DenseMatrix;
-use simrank_par::{blocks, round_robin_rounds, RowWriter, WorkerPool};
+use simrank_par::{blocks, kernel, round_robin_rounds, RowWriter, WorkerPool};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A (thin) singular value decomposition `A = U · diag(σ) · Vᵀ`.
@@ -51,12 +51,12 @@ fn rotate_pair(bw: &RowWriter<'_>, vw: &RowWriter<'_>, p: usize, q: usize, off_b
     // columns `p` and `q` are exclusively this call's for its duration.
     let bp = unsafe { bw.row_mut(p) };
     let bq = unsafe { bw.row_mut(q) };
-    let (mut app, mut aqq, mut apq) = (0.0f64, 0.0f64, 0.0f64);
-    for i in 0..bp.len() {
-        app += bp[i] * bp[i];
-        aqq += bq[i] * bq[i];
-        apq += bp[i] * bq[i];
-    }
+    // The 2×2 Gram block via the lane-chunked reduction kernels: values
+    // are a pure function of the two columns, so the skip decision and
+    // the rotation angle stay thread-invariant.
+    let app = kernel::sq_sum(bp);
+    let aqq = kernel::sq_sum(bq);
+    let apq = kernel::dot(bp, bq);
     if apq.abs() <= eps * (app * aqq).sqrt().max(f64::MIN_POSITIVE) {
         return;
     }
@@ -69,18 +69,10 @@ fn rotate_pair(bw: &RowWriter<'_>, vw: &RowWriter<'_>, p: usize, q: usize, off_b
     let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
     let c = 1.0 / (1.0 + t * t).sqrt();
     let s = c * t;
-    for i in 0..bp.len() {
-        let (x, y) = (bp[i], bq[i]);
-        bp[i] = c * x - s * y;
-        bq[i] = s * x + c * y;
-    }
+    kernel::rotate(bp, bq, c, s);
     let vp = unsafe { vw.row_mut(p) };
     let vq = unsafe { vw.row_mut(q) };
-    for i in 0..vp.len() {
-        let (x, y) = (vp[i], vq[i]);
-        vp[i] = c * x - s * y;
-        vq[i] = s * x + c * y;
-    }
+    kernel::rotate(vp, vq, c, s);
 }
 
 impl Svd {
@@ -152,13 +144,7 @@ impl Svd {
         }
         // Extract singular values and sort descending.
         let norms: Vec<f64> = (0..n)
-            .map(|j| {
-                b[j * m..(j + 1) * m]
-                    .iter()
-                    .map(|x| x * x)
-                    .sum::<f64>()
-                    .sqrt()
-            })
+            .map(|j| kernel::sq_sum(&b[j * m..(j + 1) * m]).sqrt())
             .collect();
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("finite norms"));

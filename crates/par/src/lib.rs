@@ -35,11 +35,13 @@
 //! (`u64` addition is associative and commutative, so the merged count
 //! equals the single-threaded count — see [`OpCounter::merge`]).
 
+pub mod kernel;
+
 use std::marker::PhantomData;
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Counts abstract similarity additions.
@@ -222,6 +224,11 @@ pub fn round_robin_rounds(n: usize) -> Vec<Vec<(usize, usize)>> {
 /// rows; it performs no similarity arithmetic and therefore counts zero
 /// adds.
 ///
+/// Sequential and sharded execution share one body —
+/// [`kernel::mirror_lower_rows`], the cache-blocked transpose-copy — so
+/// there is exactly one mirror implementation in the workspace; the grid
+/// layer's sequential mirror is a thin wrapper over the same call.
+///
 /// # Panics
 ///
 /// Panics when `data.len() != n * n`.
@@ -231,11 +238,9 @@ pub fn mirror_upper_to_lower(pool: &mut WorkerPool<'_>, data: &mut [f64], n: usi
         return;
     }
     if pool.workers() == 1 {
-        for a in 1..n {
-            for b in 0..a {
-                data[a * n + b] = data[b * n + a];
-            }
-        }
+        // SAFETY: exclusive `&mut` access to the whole buffer; the single
+        // call owns every row.
+        unsafe { kernel::mirror_lower_rows(data.as_mut_ptr(), n, 1..n) };
         return;
     }
     let weights: Vec<usize> = (0..n).collect();
@@ -251,15 +256,11 @@ pub fn mirror_upper_to_lower(pool: &mut WorkerPool<'_>, data: &mut [f64], n: usi
     let ptr = MirrorPtr(data.as_mut_ptr());
     pool.sweep(blocks, |rows, _counter| {
         let p = &ptr;
-        for a in rows {
-            for b in 0..a {
-                // SAFETY: `(a, b)` is strictly lower and row `a` belongs to
-                // exactly one block, so this write races with nothing; the
-                // read at `(b, a)` is strictly upper, which no worker
-                // writes during the mirror.
-                unsafe { *p.0.add(a * n + b) = *p.0.add(b * n + a) };
-            }
-        }
+        // SAFETY: each row belongs to exactly one block, so the
+        // strictly-lower writes race with nothing; the strictly-upper
+        // reads target entries no worker writes during the mirror (the
+        // per-entry argument lives on `kernel::mirror_lower_rows`).
+        unsafe { kernel::mirror_lower_rows(p.0, n, rows) };
     });
 }
 
@@ -447,7 +448,26 @@ impl WorkerPool<'_> {
     /// barrier), re-raising any worker panic on the calling thread. A
     /// single item (or a 1-wide pool) runs inline without touching the
     /// pool machinery.
+    ///
+    /// Iterating callers that rebuild the same-shaped item list every
+    /// generation should prefer [`WorkerPool::sweep_drain`], which reuses
+    /// the caller's buffer instead of allocating a queue per sweep.
     pub fn sweep<I, W>(&mut self, items: Vec<I>, work: W) -> u64
+    where
+        I: Send,
+        W: Fn(I, &mut OpCounter) + Sync,
+    {
+        let mut items = items;
+        self.sweep_drain(&mut items, work)
+    }
+
+    /// As [`WorkerPool::sweep`], but drains the items out of a caller-owned
+    /// buffer and hands the (emptied) allocation back on return, so a
+    /// per-iteration sweep loop can `clear()` + refill one `Vec` instead of
+    /// allocating a fresh item list and a fresh queue every generation.
+    /// Items are claimed in buffer order; as with `sweep`, the claim
+    /// assignment is scheduling only and never affects results.
+    pub fn sweep_drain<I, W>(&mut self, items: &mut Vec<I>, work: W) -> u64
     where
         I: Send,
         W: Fn(I, &mut OpCounter) + Sync,
@@ -457,33 +477,43 @@ impl WorkerPool<'_> {
         }
         if self.workers == 1 || items.len() == 1 {
             let mut counter = OpCounter::new();
-            for item in items {
+            for item in items.drain(..) {
                 work(item, &mut counter);
             }
             return counter.total();
         }
-        let queue: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
-        let cursor = AtomicUsize::new(0);
+        // Claims pop from the Vec's tail: reverse once so the drain order
+        // matches the caller's item order.
+        items.reverse();
+        let queue = Mutex::new(std::mem::take(items));
         let job = |counter: &mut OpCounter| loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= queue.len() {
-                break;
-            }
-            let item = lock(&queue[i])
-                .take()
-                .expect("each queue index is claimed exactly once");
+            let item = match lock(&queue).pop() {
+                Some(i) => i,
+                None => break,
+            };
             work(item, counter);
         };
+        let total = self.dispatch(&job);
+        // Return the emptied buffer (and its capacity) to the caller. On a
+        // panicking sweep this assignment is skipped by the unwind — the
+        // caller's buffer simply stays empty.
+        *items = queue.into_inner().unwrap_or_else(|e| e.into_inner());
+        total
+    }
+
+    /// Publishes `job` as one pool generation, runs the driver's share
+    /// inline, waits out the barrier, and returns the merged op count.
+    fn dispatch(&mut self, job_ref: &(dyn Fn(&mut OpCounter) + Sync)) -> u64 {
         // A previous sweep that unwound from the *driver's* share never
         // reached its merge step: discard any counter/panic residue it
         // left behind so this sweep starts from a clean slate.
         self.shared.ops.store(0, Ordering::Relaxed);
         self.shared.panicked.store(false, Ordering::Relaxed);
-        let job_ref: &(dyn Fn(&mut OpCounter) + Sync) = &job;
         // SAFETY: the 'static lifetime is a lie confined to this call: the
         // sweep barrier below does not let this frame return or unwind
         // until every worker has retired the generation, so no worker can
-        // hold the reference after `job`/`queue`/`work` are dropped.
+        // hold the reference after the job (and everything it borrows) is
+        // dropped.
         let job_erased: Job =
             unsafe { std::mem::transmute::<&(dyn Fn(&mut OpCounter) + Sync), Job>(job_ref) };
         let mut driver = OpCounter::new();
@@ -499,7 +529,7 @@ impl WorkerPool<'_> {
             let _barrier = SweepBarrier(self.shared);
             // The calling thread is worker 0: it drains the queue alongside
             // the spawned workers instead of blocking idle.
-            job(&mut driver);
+            job_ref(&mut driver);
         }
         // Barrier passed: merge the driver's shard with the workers' (the
         // atomic already summed those — exact, see `OpCounter::merge`) and
@@ -595,6 +625,54 @@ impl<'g> RowWriter<'g> {
     pub unsafe fn row_mut(&self, a: usize) -> &mut [f64] {
         debug_assert!(a < self.rows, "row {a} out of range for {} rows", self.rows);
         std::slice::from_raw_parts_mut(self.data.add(a * self.cols), self.cols)
+    }
+}
+
+/// Hands out disjoint mutable *elements* of a slice to worker threads —
+/// the typed sibling of [`RowWriter`] for the plan-replay engines' vector
+/// of per-share scratch states, whose sweep items are plain indices (so
+/// the item list can be hoisted and reused across iterations) rather
+/// than borrowed `&mut` entries (which would tie the list's lifetime to
+/// one iteration's borrow).
+///
+/// **Callers must guarantee** that no element index is handed to two
+/// workers at once; the engines satisfy this structurally because each
+/// sweep item is a distinct index.
+pub struct SlotWriter<'g, T> {
+    data: *mut T,
+    len: usize,
+    _buf: PhantomData<&'g mut [T]>,
+}
+
+// SAFETY: the raw pointer is only dereferenced through `slot_mut`, whose
+// contract confines every element to a single thread; distinct elements
+// are disjoint memory.
+unsafe impl<T: Send> Send for SlotWriter<'_, T> {}
+unsafe impl<T: Send> Sync for SlotWriter<'_, T> {}
+
+impl<'g, T> SlotWriter<'g, T> {
+    /// Wraps a slice for disjoint-element sharing. The borrow keeps the
+    /// slice inaccessible (and thus unaliased) for the writer's whole
+    /// lifetime.
+    pub fn new(data: &'g mut [T]) -> Self {
+        SlotWriter {
+            len: data.len(),
+            data: data.as_mut_ptr(),
+            _buf: PhantomData,
+        }
+    }
+
+    /// Mutable view of element `i`.
+    ///
+    /// # Safety
+    ///
+    /// While any returned reference is live, no other call (from any
+    /// thread) may request the same `i`. Disjoint elements never alias.
+    #[allow(clippy::mut_from_ref)] // the whole point: disjoint &mut slots from a shared handle
+    #[inline]
+    pub unsafe fn slot_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len, "slot {i} out of range for {} slots", self.len);
+        &mut *self.data.add(i)
     }
 }
 
@@ -727,6 +805,55 @@ mod tests {
         let n = 50 * 8;
         assert_eq!(hits.load(Ordering::Relaxed), n);
         assert_eq!(total, (0..n).sum::<u64>());
+    }
+
+    #[test]
+    fn sweep_drain_reuses_the_buffer_across_generations() {
+        let hits = AtomicU64::new(0);
+        let total = WorkerPool::scoped(4, |pool| {
+            let mut items: Vec<u64> = Vec::new();
+            let mut total = 0u64;
+            let mut cap = 0usize;
+            for sweep in 0..20u64 {
+                items.clear();
+                items.extend((0..16).map(|i| sweep * 16 + i));
+                total += pool.sweep_drain(&mut items, |x, c| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    c.add(x);
+                });
+                assert!(items.is_empty(), "drain must consume every item");
+                // The capacity survives the round trip through the queue,
+                // so steady-state iterations allocate nothing.
+                if sweep == 0 {
+                    cap = items.capacity();
+                    assert!(cap >= 16);
+                } else {
+                    assert_eq!(items.capacity(), cap, "sweep {sweep} reallocated");
+                }
+            }
+            total
+        });
+        let n = 20 * 16;
+        assert_eq!(hits.load(Ordering::Relaxed), n);
+        assert_eq!(total, (0..n).sum::<u64>());
+    }
+
+    #[test]
+    fn slot_writer_disjoint_elements() {
+        let mut states = vec![0u64; 6];
+        {
+            let slots = SlotWriter::new(&mut states);
+            std::thread::scope(|s| {
+                for i in 0..6 {
+                    let slots = &slots;
+                    s.spawn(move || {
+                        // SAFETY: slot `i` is visited by exactly one thread.
+                        *unsafe { slots.slot_mut(i) } = (i * i) as u64;
+                    });
+                }
+            });
+        }
+        assert_eq!(states, vec![0, 1, 4, 9, 16, 25]);
     }
 
     #[test]
