@@ -1,0 +1,430 @@
+//! Dynamic-graph SimRank maintenance: warm-start delta resweeps.
+//!
+//! The paper's machinery (and every other all-pairs entry point in this
+//! workspace) assumes a static graph: scores are computed once by running
+//! `K = ⌈log_C ε⌉` Jeh–Widom iterations from the identity. When edges
+//! arrive or vanish, a from-scratch rerun discards everything the previous
+//! run converged to. This module reuses it instead: [`resweep`] seeds the
+//! iteration with the **previously converged scores** and runs the exact
+//! same triangular sweep (shared verbatim with [`crate::naive`] — same
+//! kernels, same pool sharding, same op counting) only until
+//! [`ScoreGrid::max_abs_diff`](crate::ScoreGrid::max_abs_diff) between
+//! consecutive iterates falls under the re-convergence tolerance.
+//!
+//! # When a warm start pays off — and when it doesn't
+//!
+//! The SimRank iteration map `F` is a `C`-contraction in the max norm (off
+//! the pinned diagonal): each sweep shrinks the distance to the fixed
+//! point `S*` by at least `C`. Starting from the identity, that distance
+//! begins at `‖I − S*‖ ≈ C`, so a cold run needs `⌈log_C ε⌉` sweeps. After
+//! a *small* edit the new fixed point sits close to the old one — only the
+//! pairs whose in-neighborhoods (or whose neighbors' neighborhoods…)
+//! changed move — so the warm distance is typically orders of magnitude
+//! smaller and the resweep stops after a handful of iterations; each sweep
+//! still costs `O(d²·n²/2)`, so the savings factor is exactly the
+//! iteration ratio (an updates/second measurement lives in
+//! `cargo bench --bench dynamic`). The warm start *loses* when the edit
+//! rewires a large fraction of the graph (the old scores are no better
+//! than the identity — expect the full `⌈log_C ε⌉` sweeps plus the
+//! stopping-check overhead) and is pointless when the batch nets out to
+//! zero effective mutations ([`DynamicSimRank::apply_batch`] detects that
+//! via [`BatchSummary::is_noop`] and returns the old scores bit-for-bit
+//! without sweeping at all).
+//!
+//! Warm and cold runs converge to the *same* fixed point but approach it
+//! along different trajectories, so their outputs agree to the
+//! convergence tolerance — not bit-for-bit (the replay gates in
+//! `tests/dynamic_replay.rs` pin the `≤ 1e-8` oracle at tight `ε`).
+//! Determinism is a separate, stronger contract: for a *fixed* warm start
+//! and edit batch, the resweep is bit-for-bit identical at every worker
+//! count, and its merged op count is exact ([`OpCounter`] shard merge) —
+//! both enforced by the `dynamic/*` cases in `baselines/op_counts.txt`.
+//!
+//! The single-source index path has its own warm-start analogue:
+//! [`SimRankIndex::repair`](crate::SimRankIndex::repair) re-solves the
+//! diagonal-correction system from the old diagonal instead of resweeping
+//! a dense grid.
+
+use crate::convergence;
+use crate::grid::ScoreGrid;
+use crate::instrument::{OpCounter, PhaseTimer, Report};
+use crate::matrix::SimMatrix;
+use crate::naive::{sweep_row_weights, triangular_sweep};
+use crate::options::SimRankOptions;
+use crate::par;
+use crate::store::ScoreStore;
+use simrank_graph::{BatchSummary, DiGraph, EdgeDelta, GraphError};
+
+/// Re-convergence tolerance of a warm resweep, derived from the requested
+/// accuracy `ε` by the contraction argument: stopping when consecutive
+/// iterates differ by at most `δ = ε·(1 − C)` bounds the distance to the
+/// fixed point by `C·δ/(1 − C) = C·ε ≤ ε`. Floored at `1e-12` so
+/// pathological `ε` cannot demand sub-ulp agreement.
+pub fn resweep_tolerance(damping: f64, epsilon: f64) -> f64 {
+    (epsilon * (1.0 - damping)).max(1e-12)
+}
+
+/// Warm-start SimRank: re-converges `warm` on (the already-mutated) `g`.
+///
+/// See the [module docs](self) for the warm-start contract. The sweep cap
+/// is `opts.iterations` when pinned, else the cold-run bound
+/// `⌈log_C δ⌉` for the re-convergence tolerance `δ` — a warm start never
+/// iterates more than a cold run would.
+///
+/// # Example
+///
+/// ```
+/// use simrank_core::dynamic;
+/// use simrank_core::naive::naive_simrank;
+/// use simrank_core::SimRankOptions;
+/// use simrank_graph::DiGraph;
+///
+/// let mut g = DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3)]).unwrap();
+/// let opts = SimRankOptions::default().with_epsilon(1e-8);
+/// let converged = naive_simrank(&g, &opts);
+///
+/// // An edge lands: patch the graph, then re-converge from the old scores.
+/// g.insert_edge(2, 3).unwrap();
+/// let warm = dynamic::resweep(&g, &converged, &opts);
+///
+/// // Same fixed point as a from-scratch run, to the convergence tolerance.
+/// let cold = naive_simrank(&g, &opts);
+/// for a in 0..4 {
+///     for b in 0..4 {
+///         assert!((warm.get(a, b) - cold.get(a, b)).abs() < 1e-7);
+///     }
+/// }
+/// ```
+pub fn resweep(g: &DiGraph, warm: &SimMatrix, opts: &SimRankOptions) -> SimMatrix {
+    resweep_with_report(g, warm, opts).0
+}
+
+/// As [`resweep`], also returning instrumentation (`report.iterations` is
+/// the number of sweeps the warm start actually needed).
+pub fn resweep_with_report(
+    g: &DiGraph,
+    warm: &SimMatrix,
+    opts: &SimRankOptions,
+) -> (SimMatrix, Report) {
+    let n = g.node_count();
+    assert_eq!(
+        warm.order(),
+        n,
+        "warm-start matrix order must match the (mutated) graph"
+    );
+    let mut cur = ScoreGrid::zeros(n);
+    for a in 0..n {
+        warm.copy_row_into(a, cur.row_mut(a));
+    }
+    let (grid, report) = resweep_grid(g, cur, opts);
+    (grid.to_sim_matrix(), report)
+}
+
+/// As [`resweep`], but warm-started from any [`ScoreStore`] backend (the
+/// store's stored entries are materialized into the dense iteration grid;
+/// thresholded backends therefore warm-start from their *sieved* scores).
+pub fn resweep_from_store(
+    g: &DiGraph,
+    warm: &dyn ScoreStore,
+    opts: &SimRankOptions,
+) -> (SimMatrix, Report) {
+    let n = g.node_count();
+    assert_eq!(
+        warm.order(),
+        n,
+        "warm-start store order must match the (mutated) graph"
+    );
+    let mut cur = ScoreGrid::zeros(n);
+    for a in 0..n {
+        warm.copy_row_into(a, cur.row_mut(a));
+    }
+    let (grid, report) = resweep_grid(g, cur, opts);
+    (grid.to_sim_matrix(), report)
+}
+
+/// The shared iteration driver: sweeps `cur` until consecutive iterates
+/// agree to [`resweep_tolerance`] (or the cap is hit).
+fn resweep_grid(g: &DiGraph, mut cur: ScoreGrid, opts: &SimRankOptions) -> (ScoreGrid, Report) {
+    let n = g.node_count();
+    let c = opts.damping;
+    let tol = resweep_tolerance(c, opts.epsilon);
+    // A warm start never needs more sweeps than a cold run bound for the
+    // same stopping tolerance; a pinned iteration count wins if tighter.
+    let cold_cap = convergence::geometric_iterations(c, tol.min(0.5));
+    let cap = opts.iterations.map_or(cold_cap, |k| k.min(cold_cap).max(1));
+    let mut timer = PhaseTimer::start();
+    let mut counter = OpCounter::new();
+    let mut next = ScoreGrid::zeros(n);
+    let workers = par::effective_workers(opts.threads, n);
+    let row_blocks = par::weighted_blocks(&sweep_row_weights(g), workers);
+    let mut items: Vec<usize> = Vec::with_capacity(row_blocks.len());
+    let mut iterations = 0u32;
+    par::WorkerPool::scoped(workers, |pool| {
+        while iterations < cap {
+            counter.add(triangular_sweep(
+                g,
+                c,
+                opts.threshold,
+                &row_blocks,
+                &mut items,
+                pool,
+                &cur,
+                &mut next,
+            ));
+            // The diff is computed by the lane-chunked kernel fold
+            // (`f64::max` is associative), so the stopping decision — and
+            // therefore the iteration count and total op count — is
+            // identical at every worker count.
+            let diff = cur.max_abs_diff(&next);
+            std::mem::swap(&mut cur, &mut next);
+            iterations += 1;
+            if diff <= tol {
+                break;
+            }
+        }
+    });
+    let report = Report {
+        iterations,
+        adds: counter.total(),
+        share_sums: timer.lap(),
+        workers,
+        ..Default::default()
+    };
+    (cur, report)
+}
+
+/// Owning driver for an evolving graph: holds the current graph and its
+/// converged all-pairs scores, and keeps both in sync under edit batches.
+///
+/// [`DynamicSimRank::apply_batch`] patches the CSR in place
+/// ([`DiGraph::apply_batch`]), skips the sweep entirely when the batch
+/// nets out to nothing (scores stay bit-for-bit identical), and otherwise
+/// re-converges with [`resweep`]. Errors from the graph layer (an
+/// out-of-range endpoint) leave both the graph and the scores untouched.
+#[derive(Clone, Debug)]
+pub struct DynamicSimRank {
+    graph: DiGraph,
+    scores: SimMatrix,
+    opts: SimRankOptions,
+}
+
+impl DynamicSimRank {
+    /// Cold-builds the initial scores with [`crate::naive::naive_simrank`]
+    /// (the workspace's correctness oracle), then maintains them
+    /// incrementally.
+    pub fn new(graph: DiGraph, opts: SimRankOptions) -> Self {
+        let scores = crate::naive::naive_simrank(&graph, &opts);
+        DynamicSimRank {
+            graph,
+            scores,
+            opts,
+        }
+    }
+
+    /// Adopts an already-converged score matrix (e.g. loaded from the
+    /// `SRM1` persisted format) instead of cold-building.
+    ///
+    /// # Panics
+    ///
+    /// When `scores.order() != graph.node_count()`.
+    pub fn from_converged(graph: DiGraph, scores: SimMatrix, opts: SimRankOptions) -> Self {
+        assert_eq!(
+            scores.order(),
+            graph.node_count(),
+            "converged matrix order must match the graph"
+        );
+        DynamicSimRank {
+            graph,
+            scores,
+            opts,
+        }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The current converged scores.
+    pub fn scores(&self) -> &SimMatrix {
+        &self.scores
+    }
+
+    /// The options every resweep runs under.
+    pub fn options(&self) -> &SimRankOptions {
+        &self.opts
+    }
+
+    /// Applies an edit batch and re-converges the scores.
+    ///
+    /// Returns what the batch changed ([`BatchSummary`]) and the resweep
+    /// instrumentation (`report.iterations == 0` for net-no-op batches,
+    /// which skip the sweep and keep the scores bit-for-bit).
+    pub fn apply_batch(
+        &mut self,
+        deltas: &[EdgeDelta],
+    ) -> Result<(BatchSummary, Report), GraphError> {
+        let summary = self.graph.apply_batch(deltas)?;
+        if summary.is_noop() {
+            return Ok((summary, Report::default()));
+        }
+        let (scores, report) = resweep_with_report(&self.graph, &self.scores, &self.opts);
+        self.scores = scores;
+        Ok((summary, report))
+    }
+
+    /// Consumes the driver, yielding the graph and scores.
+    pub fn into_parts(self) -> (DiGraph, SimMatrix) {
+        (self.graph, self.scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_simrank;
+    use simrank_graph::fixtures::paper_fig1a;
+
+    fn tight() -> SimRankOptions {
+        SimRankOptions::default()
+            .with_damping(0.6)
+            .with_epsilon(1e-9)
+            .with_threads(1)
+    }
+
+    fn assert_close(a: &SimMatrix, b: &SimMatrix, tol: f64) {
+        assert_eq!(a.order(), b.order());
+        for x in 0..a.order() {
+            for y in x..a.order() {
+                let (va, vb) = (a.get(x, y), b.get(x, y));
+                assert!((va - vb).abs() <= tol, "({x},{y}): {va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn resweep_matches_cold_recompute_after_insert() {
+        let opts = tight();
+        let mut g = paper_fig1a();
+        let converged = naive_simrank(&g, &opts);
+        assert_eq!(g.insert_edge(5, 0), Ok(true));
+        let (warm, report) = resweep_with_report(&g, &converged, &opts);
+        let cold = naive_simrank(&g, &opts);
+        assert_close(&warm, &cold, 1e-8);
+        assert!(report.iterations > 0);
+    }
+
+    #[test]
+    fn resweep_matches_cold_recompute_after_remove() {
+        let opts = tight();
+        let mut g = paper_fig1a();
+        let converged = naive_simrank(&g, &opts);
+        assert_eq!(g.remove_edge(0, 3), Ok(true));
+        let warm = resweep(&g, &converged, &opts);
+        let cold = naive_simrank(&g, &opts);
+        assert_close(&warm, &cold, 1e-8);
+    }
+
+    #[test]
+    fn resweep_on_converged_input_stops_fast() {
+        // No mutation at all: the warm start is already the fixed point, so
+        // one sweep confirms convergence.
+        let opts = tight();
+        let g = paper_fig1a();
+        let converged = naive_simrank(&g, &opts);
+        let (again, report) = resweep_with_report(&g, &converged, &opts);
+        assert_eq!(report.iterations, 1);
+        assert_close(&again, &converged, 1e-9);
+    }
+
+    #[test]
+    fn resweep_uses_fewer_iterations_than_cold_bound() {
+        let opts = tight();
+        let mut g = paper_fig1a();
+        let converged = naive_simrank(&g, &opts);
+        g.insert_edge(8, 0).unwrap();
+        let (_, report) = resweep_with_report(&g, &converged, &opts);
+        let cold_bound =
+            convergence::geometric_iterations(0.6, resweep_tolerance(0.6, opts.epsilon));
+        assert!(
+            report.iterations < cold_bound,
+            "warm {} vs cold bound {cold_bound}",
+            report.iterations
+        );
+    }
+
+    #[test]
+    fn driver_noop_batch_is_bitwise_identity() {
+        let mut d = DynamicSimRank::new(paper_fig1a(), tight());
+        let before = d.scores().clone();
+        let (summary, report) = d
+            .apply_batch(&[EdgeDelta::Insert(1, 0), EdgeDelta::Remove(7, 0)])
+            .unwrap();
+        assert!(summary.is_noop());
+        assert_eq!(report.iterations, 0);
+        assert_eq!(report.adds, 0);
+        assert_eq!(d.scores(), &before);
+    }
+
+    #[test]
+    fn driver_tracks_a_stream_of_batches() {
+        let opts = tight();
+        let mut d = DynamicSimRank::new(paper_fig1a(), opts);
+        d.apply_batch(&[EdgeDelta::Insert(2, 5), EdgeDelta::Remove(1, 0)])
+            .unwrap();
+        d.apply_batch(&[EdgeDelta::Remove(3, 7), EdgeDelta::Insert(7, 8)])
+            .unwrap();
+        let cold = naive_simrank(d.graph(), &opts);
+        assert_close(d.scores(), &cold, 1e-8);
+    }
+
+    #[test]
+    fn driver_error_leaves_state_untouched() {
+        let mut d = DynamicSimRank::new(paper_fig1a(), tight());
+        let before_g = d.graph().clone();
+        let before_s = d.scores().clone();
+        assert!(d.apply_batch(&[EdgeDelta::Insert(0, 99)]).is_err());
+        assert_eq!(d.graph(), &before_g);
+        assert_eq!(d.scores(), &before_s);
+    }
+
+    #[test]
+    fn store_warm_start_matches_matrix_warm_start() {
+        let opts = tight();
+        let mut g = paper_fig1a();
+        let converged = naive_simrank(&g, &opts);
+        g.insert_edge(4, 6).unwrap();
+        let (from_matrix, _) = resweep_with_report(&g, &converged, &opts);
+        let (from_store, _) = resweep_from_store(&g, &converged as &dyn ScoreStore, &opts);
+        // The packed triangle *is* a ScoreStore: identical warm grid,
+        // identical sweeps, bit-identical output.
+        assert_eq!(from_matrix, from_store);
+    }
+
+    #[test]
+    fn thread_count_is_bitwise_invariant() {
+        let mut g = paper_fig1a();
+        let base = naive_simrank(&g, &tight());
+        assert_eq!(g.insert_edge(2, 8), Ok(true));
+        assert_eq!(g.remove_edge(4, 1), Ok(true));
+        let mut reference: Option<(SimMatrix, u64, u32)> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let opts = tight().with_threads(threads);
+            let (m, r) = resweep_with_report(&g, &base, &opts);
+            match &reference {
+                None => reference = Some((m, r.adds, r.iterations)),
+                Some((m0, adds0, iters0)) => {
+                    assert_eq!(&m, m0, "threads = {threads}");
+                    assert_eq!(r.adds, *adds0, "threads = {threads}");
+                    assert_eq!(r.iterations, *iters0, "threads = {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tolerance_floor_holds() {
+        assert_eq!(resweep_tolerance(0.6, 1e-3), 1e-3 * 0.4);
+        assert_eq!(resweep_tolerance(0.999_999, 1e-300), 1e-12);
+    }
+}

@@ -96,7 +96,7 @@
 use crate::instrument::{OpCounter, PhaseTimer, Report};
 use crate::options::SimRankOptions;
 use crate::par;
-use simrank_graph::{DiGraph, NodeId};
+use simrank_graph::{DiGraph, EdgeDelta, GraphError, NodeId};
 
 /// Hard cap on diagonal-correction solver rounds. CGLS usually converges
 /// in far fewer (in exact arithmetic it terminates in at most `n` steps,
@@ -350,9 +350,162 @@ impl SimRankIndex {
         // without revisiting (chains, trees), so the initial residual is
         // already small on sparse graphs.
         let mut d = vec![1.0 - c; n];
+        let workers = par::effective_workers(opts.threads, n);
+        let (residual, rounds) =
+            Self::solve_diagonal(g, &inv_in, c, depth, tol, workers, &mut d, &mut counter);
+        let report = Report {
+            iterations: rounds,
+            adds: counter.total(),
+            share_sums: timer.lap(),
+            peak_intermediate_bytes: (TRANSPOSE_SHARDS.min(n.max(1)) + 2 * workers + 5)
+                * n
+                * std::mem::size_of::<f64>(),
+            workers,
+            ..Default::default()
+        };
+        let index = SimRankIndex {
+            graph: g.clone(),
+            inv_in,
+            diag: d,
+            damping: c,
+            depth,
+            residual,
+        };
+        (index, report)
+    }
+
+    /// Incrementally repairs the index after an edit batch: patches the
+    /// embedded edge list with [`DiGraph::apply_batch`] and re-solves the
+    /// diagonal-correction system `M·d = 𝟙` with the **old `d` as the
+    /// CGLS warm start** — the exact solve loop [`SimRankIndex::build`]
+    /// runs, just seeded differently, so a repaired index is the same
+    /// kind of object as a built one (same determinism contract: bits,
+    /// round count, and merged op count invariant across worker counts).
+    /// After a small edit the old diagonal is already near the new
+    /// system's solution, so the warm solve typically needs a fraction of
+    /// a cold build's rounds (`report.iterations` tells you how many).
+    ///
+    /// `opts` supplies the worker count and the solve tolerance; the
+    /// damping factor and series depth are pinned to this index's own
+    /// (they define what the stored diagonal *means*). A batch that nets
+    /// out to zero effective mutations returns a bit-for-bit clone
+    /// without solving. On error the index is unchanged.
+    ///
+    /// The serving layer composes this with generation reload: repair on
+    /// the ingest side, then publish the repaired index through
+    /// `simrank_serve`'s `EngineSource` so in-flight queries cut over
+    /// atomically.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use simrank_core::index::SimRankIndex;
+    /// use simrank_core::SimRankOptions;
+    /// use simrank_graph::{fixtures::paper_fig1a, EdgeDelta};
+    ///
+    /// let opts = SimRankOptions::default().with_damping(0.6).with_epsilon(1e-9);
+    /// let index = SimRankIndex::build(&paper_fig1a(), &opts);
+    ///
+    /// // Two edges land, one vanishes: repair instead of rebuilding.
+    /// let deltas = [
+    ///     EdgeDelta::Insert(2, 5),
+    ///     EdgeDelta::Insert(7, 0),
+    ///     EdgeDelta::Remove(1, 0),
+    /// ];
+    /// let repaired = index.repair(&deltas, &opts).unwrap();
+    ///
+    /// // Same answers as building fresh on the mutated graph.
+    /// let fresh = SimRankIndex::build(repaired.graph(), &opts);
+    /// for (a, b) in repaired.query(3).iter().zip(fresh.query(3)) {
+    ///     assert!((a - b).abs() < 1e-8);
+    /// }
+    /// ```
+    pub fn repair(
+        &self,
+        deltas: &[EdgeDelta],
+        opts: &SimRankOptions,
+    ) -> Result<SimRankIndex, GraphError> {
+        self.repair_with_report(deltas, opts).map(|(idx, _)| idx)
+    }
+
+    /// As [`SimRankIndex::repair`], also returning the batch summary and
+    /// the warm solve's instrumentation (`iterations` = CGLS rounds the
+    /// repair needed; `0` for net-no-op batches, which skip the solve).
+    pub fn repair_with_report(
+        &self,
+        deltas: &[EdgeDelta],
+        opts: &SimRankOptions,
+    ) -> Result<(SimRankIndex, Report), GraphError> {
+        let mut graph = self.graph.clone();
+        let summary = graph.apply_batch(deltas)?;
+        if summary.is_noop() {
+            return Ok((self.clone(), Report::default()));
+        }
+        let n = graph.node_count();
+        let c = self.damping;
+        let depth = self.depth;
+        let tol = (opts.epsilon * (1.0 - c)).max(1e-12);
+        let inv_in = inverse_in_degrees(&graph);
+        let mut timer = PhaseTimer::start();
+        let mut counter = OpCounter::new();
+        // Warm start: the previous diagonal. The constraint matrix moved
+        // only where reverse walks cross the touched in-neighborhoods, so
+        // the old solution is already near the new one.
+        let mut d = self.diag.clone();
+        let workers = par::effective_workers(opts.threads, n);
+        let (residual, rounds) = Self::solve_diagonal(
+            &graph,
+            &inv_in,
+            c,
+            depth,
+            tol,
+            workers,
+            &mut d,
+            &mut counter,
+        );
+        let report = Report {
+            iterations: rounds,
+            adds: counter.total(),
+            share_sums: timer.lap(),
+            peak_intermediate_bytes: (TRANSPOSE_SHARDS.min(n.max(1)) + 2 * workers + 5)
+                * n
+                * std::mem::size_of::<f64>(),
+            workers,
+            ..Default::default()
+        };
+        let index = SimRankIndex {
+            graph,
+            inv_in,
+            diag: d,
+            damping: c,
+            depth,
+            residual,
+        };
+        Ok((index, report))
+    }
+
+    /// The shared CGLS solve of the diagonal system `M·d = 𝟙`, seeded
+    /// with whatever `d` the caller passes in: `1 − C` for a cold
+    /// [`SimRankIndex::build`], the previous index's diagonal for a warm
+    /// [`SimRankIndex::repair`]. Overwrites `d` with the solution and
+    /// returns `(residual, rounds)`. One definition, so the two entry
+    /// points are the same arithmetic by construction (the cold path's
+    /// bits — and its `index/*` op-count baselines — are untouched by
+    /// the extraction).
+    #[allow(clippy::too_many_arguments)]
+    fn solve_diagonal(
+        g: &DiGraph,
+        inv_in: &[f64],
+        c: f64,
+        depth: u32,
+        tol: f64,
+        workers: usize,
+        d: &mut [f64],
+        counter: &mut OpCounter,
+    ) -> (f64, u32) {
+        let n = d.len();
         let mut residual = 0.0f64;
         let mut rounds = 0u32;
-        let workers = par::effective_workers(opts.threads, n);
         if n > 0 {
             par::WorkerPool::scoped(workers, |pool| {
                 // Fixed sweep structure for the whole solve: the vertex
@@ -367,13 +520,13 @@ impl SimRankIndex {
                 // r = 𝟙 − M·d.
                 counter.add(apply_constraint(
                     g,
-                    &inv_in,
+                    inv_in,
                     c,
                     depth,
                     pool,
                     &blocks,
                     &mut items,
-                    &d,
+                    d,
                     &mut scratch,
                 ));
                 let mut r: Vec<f64> = scratch.iter().map(|&v| 1.0 - v).collect();
@@ -381,7 +534,7 @@ impl SimRankIndex {
                 let mut s = vec![0.0f64; n];
                 counter.add(apply_constraint_transpose(
                     g,
-                    &inv_in,
+                    inv_in,
                     c,
                     depth,
                     pool,
@@ -406,7 +559,7 @@ impl SimRankIndex {
                     // q = M·p; α = γ / ‖q‖².
                     counter.add(apply_constraint(
                         g,
-                        &inv_in,
+                        inv_in,
                         c,
                         depth,
                         pool,
@@ -423,13 +576,13 @@ impl SimRankIndex {
                     // d += α·p and r −= α·q as elementwise kernels —
                     // bitwise identical to the historical scalar loops
                     // (`−α·q` negates exactly).
-                    par::kernel::axpy(&mut d, alpha, &p);
+                    par::kernel::axpy(d, alpha, &p);
                     par::kernel::axpy(&mut r, -alpha, &scratch);
                     counter.add(2 * n as u64);
                     // s = Mᵀ·r; β = ‖s_new‖² / ‖s_old‖²; p = s + β·p.
                     counter.add(apply_constraint_transpose(
                         g,
-                        &inv_in,
+                        inv_in,
                         c,
                         depth,
                         pool,
@@ -453,13 +606,13 @@ impl SimRankIndex {
                 // actually served.
                 counter.add(apply_constraint(
                     g,
-                    &inv_in,
+                    inv_in,
                     c,
                     depth,
                     pool,
                     &blocks,
                     &mut items,
-                    &d,
+                    d,
                     &mut scratch,
                 ));
                 residual = scratch
@@ -467,25 +620,7 @@ impl SimRankIndex {
                     .fold(0.0f64, |acc, &v| acc.max((1.0 - v).abs()));
             });
         }
-        let report = Report {
-            iterations: rounds,
-            adds: counter.total(),
-            share_sums: timer.lap(),
-            peak_intermediate_bytes: (TRANSPOSE_SHARDS.min(n.max(1)) + 2 * workers + 5)
-                * n
-                * std::mem::size_of::<f64>(),
-            workers,
-            ..Default::default()
-        };
-        let index = SimRankIndex {
-            graph: g.clone(),
-            inv_in,
-            diag: d,
-            damping: c,
-            depth,
-            residual,
-        };
-        (index, report)
+        (residual, rounds)
     }
 
     /// Reassembles an index from persisted parts, recomputing the derived
@@ -814,6 +949,101 @@ mod tests {
     fn query_out_of_range_panics() {
         let index = SimRankIndex::build(&paper_fig1a(), &opts());
         index.query(99);
+    }
+
+    #[test]
+    fn repair_matches_fresh_build_answers() {
+        let g = gen::gnm(30, 110, 3);
+        let o = SimRankOptions::default()
+            .with_damping(0.6)
+            .with_epsilon(1e-9);
+        let index = SimRankIndex::build(&g, &o);
+        let deltas = [
+            EdgeDelta::Insert(0, 29),
+            EdgeDelta::Insert(13, 2),
+            EdgeDelta::Remove(g.edges().next().unwrap().0, g.edges().next().unwrap().1),
+        ];
+        let (repaired, report) = index.repair_with_report(&deltas, &o).unwrap();
+        let fresh = SimRankIndex::build(repaired.graph(), &o);
+        assert_eq!(repaired.depth(), index.depth());
+        assert_eq!(repaired.damping(), index.damping());
+        for u in 0..30 {
+            let (a, b) = (repaired.query(u), fresh.query(u));
+            for v in 0..30 {
+                assert!(
+                    (a[v] - b[v]).abs() <= 1e-8,
+                    "s({u},{v}): repaired {} vs fresh {}",
+                    a[v],
+                    b[v]
+                );
+            }
+        }
+        assert!(report.adds > 0, "repair must be op-counted");
+    }
+
+    #[test]
+    fn repair_warm_start_needs_fewer_rounds_than_cold_build() {
+        let g = gen::copying_web_graph(gen::CopyingParams::berkstan_like(80), 5);
+        let o = SimRankOptions::default()
+            .with_damping(0.6)
+            .with_epsilon(1e-8);
+        let index = SimRankIndex::build(&g, &o);
+        let deltas = [EdgeDelta::Insert(3, 77), EdgeDelta::Remove(0, 1)];
+        let (repaired, warm) = index.repair_with_report(&deltas, &o).unwrap();
+        let (_, cold) = SimRankIndex::build_with_report(repaired.graph(), &o);
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} rounds vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        assert!(repaired.solver_residual() <= 1e-8 * (1.0 - 0.6) + 1e-12);
+    }
+
+    #[test]
+    fn repair_noop_batch_is_bit_identical_clone() {
+        let g = paper_fig1a();
+        let o = opts();
+        let index = SimRankIndex::build(&g, &o);
+        // (1,0) present (insert = no-op), (0,1) absent (remove = no-op).
+        let (same, report) = index
+            .repair_with_report(&[EdgeDelta::Insert(1, 0), EdgeDelta::Remove(0, 1)], &o)
+            .unwrap();
+        assert_eq!(same, index);
+        assert_eq!(report.iterations, 0);
+        assert_eq!(report.adds, 0);
+    }
+
+    #[test]
+    fn repair_error_leaves_index_untouched() {
+        let index = SimRankIndex::build(&paper_fig1a(), &opts());
+        let before = index.clone();
+        assert!(index.repair(&[EdgeDelta::Insert(0, 42)], &opts()).is_err());
+        assert_eq!(index, before);
+    }
+
+    #[test]
+    fn repair_is_thread_invariant() {
+        let g = gen::gnm(24, 70, 8);
+        let o = SimRankOptions::default()
+            .with_damping(0.6)
+            .with_epsilon(1e-6);
+        let index = SimRankIndex::build(&g, &o.with_threads(1));
+        let deltas = [
+            EdgeDelta::Insert(2, 23),
+            EdgeDelta::Remove(g.edges().nth(5).unwrap().0, g.edges().nth(5).unwrap().1),
+        ];
+        let (base, r1) = index
+            .repair_with_report(&deltas, &o.with_threads(1))
+            .unwrap();
+        for t in [2usize, 4, 8] {
+            let (idx, rt) = index
+                .repair_with_report(&deltas, &o.with_threads(t))
+                .unwrap();
+            assert_eq!(idx, base, "threads = {t} diverged");
+            assert_eq!(rt.iterations, r1.iterations, "threads = {t} round count");
+            assert_eq!(rt.adds, r1.adds, "threads = {t} op counts");
+        }
     }
 
     #[test]

@@ -49,6 +49,15 @@
 //! ([`topk`]) is generic over the same trait. Low-rank factors persist as
 //! the `SRL1` format ([`persist::save_low_rank`]).
 //!
+//! Graphs are not frozen: [`dynamic`] maintains converged results under
+//! edge streams. `DiGraph::apply_batch` patches the CSR adjacency in
+//! place, [`dynamic::resweep`] re-converges the all-pairs scores from
+//! the stale grid as a warm start (a fraction of the cold iteration
+//! bound), and [`SimRankIndex::repair`] re-solves the diagonal system
+//! with the stale diagonal seeding CGLS — all on the same pooled sweeps,
+//! with the same bit-for-bit thread-invariance contract (`dynamic/*`
+//! cases in `baselines/op_counts.txt`).
+//!
 //! Every query surface — [`SimRankIndex`], every [`store::ScoreStore`]
 //! backend, and the Monte-Carlo [`montecarlo::FingerprintEngine`] —
 //! implements the object-safe [`query::QueryEngine`] trait: one
@@ -73,6 +82,7 @@
 
 pub mod convergence;
 pub mod dsr;
+pub mod dynamic;
 pub mod engine;
 pub mod grid;
 pub mod index;
@@ -94,6 +104,7 @@ pub mod setops;
 pub mod store;
 pub mod topk;
 
+pub use dynamic::DynamicSimRank;
 pub use grid::ScoreGrid;
 pub use index::SimRankIndex;
 pub use instrument::Report;

@@ -36,64 +36,24 @@ pub(crate) fn naive_grid(g: &DiGraph, opts: &SimRankOptions) -> (ScoreGrid, Repo
     let mut counter = OpCounter::new();
     let mut cur = ScoreGrid::identity(n);
     let mut next = ScoreGrid::zeros(n);
-    // Rows are independent given the previous grid: shard the source-vertex
-    // range into contiguous row blocks. The sweep is *triangular* — row `a`
-    // computes only targets `b > a` (the mirror pass recovers the lower
-    // triangle) — so equal-length row bands would starve the late workers;
-    // blocks are carved by per-row work weight instead: `d_a · Σ_{b>a} d_b`
-    // pair arithmetic plus the `n − a` target scan.
     let workers = par::effective_workers(opts.threads, n);
-    let mut row_weights = vec![0usize; n];
-    let mut suffix_deg = 0usize;
-    for a in (0..n).rev() {
-        let d = g.in_neighbors(a as u32).len();
-        row_weights[a] = if d == 0 { 1 } else { d * suffix_deg + (n - a) };
-        suffix_deg += d;
-    }
-    let row_blocks = par::weighted_blocks(&row_weights, workers);
+    let row_blocks = par::weighted_blocks(&sweep_row_weights(g), workers);
     // Sweep items are plain block indices, hoisted once and recycled
     // through `sweep_drain` so the queue buffer is allocated a single
     // time for the whole run instead of once per iteration.
     let mut items: Vec<usize> = Vec::with_capacity(row_blocks.len());
     par::WorkerPool::scoped(workers, |pool| {
         for _ in 0..k_max {
-            next.clear();
-            let writer = par::RowWriter::new(next.data_mut(), n);
-            items.extend(0..row_blocks.len());
-            counter.add(pool.sweep_drain(&mut items, |bi, counter| {
-                for a in row_blocks[bi].clone() {
-                    let ins_a = g.in_neighbors(a as u32);
-                    if ins_a.is_empty() {
-                        continue;
-                    }
-                    // SAFETY: blocks partition the row range, so row `a`
-                    // is claimed by exactly one item per sweep.
-                    let row_out = unsafe { writer.row_mut(a) };
-                    for b in a + 1..n {
-                        let ins_b = g.in_neighbors(b as u32);
-                        if ins_b.is_empty() {
-                            continue;
-                        }
-                        // Lane-chunked gather over I(b), one I(a)-row at
-                        // a time — association is fixed by the kernel, so
-                        // the sum is identical on any worker count.
-                        let mut sum = 0.0;
-                        for &i in ins_a {
-                            sum += par::kernel::gather_sum(cur.row(i as usize), ins_b);
-                        }
-                        counter.add(((ins_a.len() * ins_b.len()) as u64).saturating_sub(1));
-                        let mut val = c / (ins_a.len() as f64 * ins_b.len() as f64) * sum;
-                        if let Some(delta) = opts.threshold {
-                            if val < delta {
-                                val = 0.0;
-                            }
-                        }
-                        row_out[b] = val;
-                    }
-                }
-            }));
-            next.set_diagonal(1.0);
-            par::mirror_upper_to_lower(pool, &mut next);
+            counter.add(triangular_sweep(
+                g,
+                c,
+                opts.threshold,
+                &row_blocks,
+                &mut items,
+                pool,
+                &cur,
+                &mut next,
+            ));
             std::mem::swap(&mut cur, &mut next);
         }
     });
@@ -106,6 +66,85 @@ pub(crate) fn naive_grid(g: &DiGraph, opts: &SimRankOptions) -> (ScoreGrid, Repo
         ..Default::default()
     };
     (cur, report)
+}
+
+/// Per-row work profile of one triangular sweep, fed to
+/// [`par::weighted_blocks`]. Rows are independent given the previous grid,
+/// but the sweep is *triangular* — row `a` computes only targets `b > a`
+/// (the mirror pass recovers the lower triangle) — so equal-length row
+/// bands would starve the late workers; blocks are carved by per-row work
+/// weight instead: `d_a · Σ_{b>a} d_b` pair arithmetic plus the `n − a`
+/// target scan (weight 1 for in-isolated rows so every row lands in a
+/// block).
+pub(crate) fn sweep_row_weights(g: &DiGraph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut row_weights = vec![0usize; n];
+    let mut suffix_deg = 0usize;
+    for a in (0..n).rev() {
+        let d = g.in_neighbors(a as u32).len();
+        row_weights[a] = if d == 0 { 1 } else { d * suffix_deg + (n - a) };
+        suffix_deg += d;
+    }
+    row_weights
+}
+
+/// One triangular Jeh–Widom sweep: `next ← F(cur)` over the upper
+/// triangle, diagonal pinned to 1, lower triangle restored by the
+/// bandwidth-only mirror pass. Returns the merged add count (exact shard
+/// merge — identical on any worker count). Shared verbatim by the cold
+/// [`naive_grid`] iteration and the warm-start
+/// [`crate::dynamic`] resweep so the two are the same arithmetic by
+/// construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn triangular_sweep(
+    g: &DiGraph,
+    c: f64,
+    threshold: Option<f64>,
+    row_blocks: &[std::ops::Range<usize>],
+    items: &mut Vec<usize>,
+    pool: &mut par::WorkerPool<'_>,
+    cur: &ScoreGrid,
+    next: &mut ScoreGrid,
+) -> u64 {
+    let n = g.node_count();
+    next.clear();
+    let writer = par::RowWriter::new(next.data_mut(), n);
+    items.extend(0..row_blocks.len());
+    let adds = pool.sweep_drain(items, |bi, counter| {
+        for a in row_blocks[bi].clone() {
+            let ins_a = g.in_neighbors(a as u32);
+            if ins_a.is_empty() {
+                continue;
+            }
+            // SAFETY: blocks partition the row range, so row `a`
+            // is claimed by exactly one item per sweep.
+            let row_out = unsafe { writer.row_mut(a) };
+            for b in a + 1..n {
+                let ins_b = g.in_neighbors(b as u32);
+                if ins_b.is_empty() {
+                    continue;
+                }
+                // Lane-chunked gather over I(b), one I(a)-row at
+                // a time — association is fixed by the kernel, so
+                // the sum is identical on any worker count.
+                let mut sum = 0.0;
+                for &i in ins_a {
+                    sum += par::kernel::gather_sum(cur.row(i as usize), ins_b);
+                }
+                counter.add(((ins_a.len() * ins_b.len()) as u64).saturating_sub(1));
+                let mut val = c / (ins_a.len() as f64 * ins_b.len() as f64) * sum;
+                if let Some(delta) = threshold {
+                    if val < delta {
+                        val = 0.0;
+                    }
+                }
+                row_out[b] = val;
+            }
+        }
+    });
+    next.set_diagonal(1.0);
+    par::mirror_upper_to_lower(pool, next);
+    adds
 }
 
 #[cfg(test)]

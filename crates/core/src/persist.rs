@@ -310,7 +310,10 @@ fn read_index_body<R: Read>(
         let to = u32::from_le_bytes(read_array(r, &format!("edge {e} target"))?);
         edges.push((from, to));
     }
-    let graph = DiGraph::from_edges(n, edges).map_err(|e| PersistError::Malformed {
+    // The writer serializes a CSR edge iteration — sorted and duplicate-
+    // free by construction — so a repeated edge in the payload is
+    // corruption, not input to be silently collapsed.
+    let graph = DiGraph::from_edges_strict(n, edges).map_err(|e| PersistError::Malformed {
         context: format!("edge list: {e}"),
     })?;
     let mut diag: Vec<f64> = Vec::new();
@@ -779,6 +782,13 @@ mod tests {
         assert!(matches!(
             read_index(&buf[..]),
             Err(PersistError::Malformed { context }) if context.contains("edge count")
+        ));
+        // Duplicated edge in the payload: the writer never emits one, so
+        // the strict load path must flag corruption instead of deduping.
+        let buf = raw_index(2, 3, &[(0, 1), (0, 1)], 0.6, &[0.4, 0.4]);
+        assert!(matches!(
+            read_index(&buf[..]),
+            Err(PersistError::Malformed { context }) if context.contains("duplicate edge")
         ));
     }
 

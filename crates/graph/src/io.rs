@@ -126,7 +126,11 @@ pub fn decode(mut data: &[u8]) -> Result<DiGraph, GraphError> {
         let v = data.get_u32_le();
         edges.push((u, v));
     }
-    DiGraph::from_edges(n, edges)
+    // The encoder always writes a sorted duplicate-free edge list, so a
+    // repeated edge here means the payload is corrupt — reject it rather
+    // than silently collapsing (the lenient text path stays forgiving for
+    // raw SNAP downloads).
+    DiGraph::from_edges_strict(n, edges)
 }
 
 /// Writes the binary encoding to `path`.
@@ -153,6 +157,22 @@ mod tests {
         write_edge_list(&g, &mut buf).unwrap();
         let g2 = read_edge_list(&buf[..]).unwrap();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_decode_rejects_duplicate_edges() {
+        // Hand-craft a payload with (0,1) twice: the encoder never emits
+        // duplicates, so decode must treat this as corruption.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SRG1");
+        buf.extend_from_slice(&2u32.to_le_bytes()); // n
+        buf.extend_from_slice(&2u32.to_le_bytes()); // m
+        for _ in 0..2 {
+            buf.extend_from_slice(&0u32.to_le_bytes());
+            buf.extend_from_slice(&1u32.to_le_bytes());
+        }
+        let err = decode(&buf).unwrap_err();
+        assert_eq!(err, GraphError::DuplicateEdge { from: 0, to: 1 });
     }
 
     #[test]

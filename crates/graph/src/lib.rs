@@ -3,10 +3,12 @@
 //! This crate provides everything the SimRank algorithms of Yu, Lin & Zhang
 //! (ICDE 2013) need from a graph library, implemented from scratch:
 //!
-//! * [`DiGraph`] — an immutable directed graph in compressed sparse row (CSR)
-//!   form holding *both* orientations, because SimRank is driven by
-//!   in-neighbor sets (`I(a)` in the paper) while the minimum-spanning-tree
-//!   sharing plan walks out-neighbors.
+//! * [`DiGraph`] — a directed graph in compressed sparse row (CSR) form
+//!   holding *both* orientations, because SimRank is driven by in-neighbor
+//!   sets (`I(a)` in the paper) while the minimum-spanning-tree sharing plan
+//!   walks out-neighbors. Bulk construction is immutable; dynamic workloads
+//!   patch edges in place with [`DiGraph::apply_batch`] over [`EdgeDelta`]
+//!   streams (see the [`digraph`] module docs).
 //! * [`GraphBuilder`] — a mutable edge accumulator that deduplicates parallel
 //!   edges and produces a [`DiGraph`].
 //! * [`gen`] — graph generators: R-MAT (the model behind the paper's GTGraph
@@ -43,6 +45,6 @@ pub mod traversal;
 pub mod types;
 
 pub use builder::GraphBuilder;
-pub use digraph::DiGraph;
+pub use digraph::{BatchSummary, DiGraph, EdgeDelta};
 pub use stats::DegreeStats;
 pub use types::{GraphError, NodeId};

@@ -22,6 +22,15 @@ pub enum GraphError {
     },
     /// The requested vertex count exceeds what `NodeId` can index.
     TooManyNodes(usize),
+    /// A duplicate edge was found where the input contract forbids one
+    /// (strict construction from a canonical source, e.g. a persistence
+    /// load path — see [`crate::DiGraph::from_edges_strict`]).
+    DuplicateEdge {
+        /// Source endpoint of the repeated edge.
+        from: NodeId,
+        /// Target endpoint of the repeated edge.
+        to: NodeId,
+    },
     /// A parse error in the edge-list text format.
     Parse {
         /// 1-based line number of the malformed record.
@@ -46,6 +55,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::TooManyNodes(n) => {
                 write!(f, "{n} vertices exceed the NodeId (u32) index space")
+            }
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from} -> {to} in strict construction")
             }
             GraphError::Parse { line, message } => {
                 write!(f, "edge-list parse error at line {line}: {message}")

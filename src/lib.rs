@@ -14,9 +14,12 @@
 //! * [`algo`] — the SimRank algorithms: `naive`, `psum-SR`, `OIP-SR`,
 //!   `OIP-DSR`, `mtx-SR`, plus convergence estimators, extensions, the
 //!   index-backed single-source/top-k query engine
-//!   (`simrank_core::index`), and the pluggable score-storage layer
+//!   (`simrank_core::index`), the pluggable score-storage layer
 //!   (`simrank_core::store`: packed triangle, low-rank factors,
-//!   thresholded sparse — all behind one `ScoreStore` trait).
+//!   thresholded sparse — all behind one `ScoreStore` trait), and
+//!   dynamic maintenance under edge streams (`simrank_core::dynamic`:
+//!   warm-start delta sweeps and incremental index repair over the
+//!   `DiGraph::apply_batch` mutation API).
 //! * [`eval`] — ranking metrics (NDCG, Kendall τ, top-k overlap).
 //! * [`datasets`] — simulated stand-ins for the paper's datasets.
 //! * [`serve`] — the std-only TCP query server over the unified
@@ -81,6 +84,7 @@ pub use simrank_serve as serve;
 pub mod prelude {
     pub use simrank_core::{
         dsr::oip_dsr_simrank,
+        dynamic::{resweep, DynamicSimRank},
         index::SimRankIndex,
         montecarlo::{mc_simrank_pair, Fingerprints},
         mtx::mtx_simrank,
@@ -94,5 +98,5 @@ pub mod prelude {
         CostModel, ScoreBackend, SimMatrix, SimRankOptions,
     };
     pub use simrank_eval::{kendall_tau, ndcg_at, top_k_overlap};
-    pub use simrank_graph::{DiGraph, GraphBuilder, NodeId};
+    pub use simrank_graph::{DiGraph, EdgeDelta, GraphBuilder, NodeId};
 }

@@ -16,8 +16,8 @@
 
 use simrank::algo::montecarlo::Fingerprints;
 use simrank::algo::prank::{prank_with_report, PRankOptions};
-use simrank::algo::{dsr, naive, oip, psum, SimRankOptions};
-use simrank::graph::{fixtures, gen, DiGraph};
+use simrank::algo::{dsr, dynamic, naive, oip, psum, SimRankOptions};
+use simrank::graph::{fixtures, gen, DiGraph, EdgeDelta};
 use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 
@@ -35,6 +35,21 @@ fn fixture_graphs() -> Vec<(&'static str, DiGraph)> {
             gen::copying_web_graph(gen::CopyingParams::berkstan_like(120), 7),
         ),
     ]
+}
+
+/// The fixed edit script the `dynamic/*` cases replay: a deterministic
+/// insert/remove mix derived from the graph's own edge list, so the warm
+/// resweep's stopping decision — and therefore its op count — is pinned.
+fn dynamic_script(g: &DiGraph) -> Vec<EdgeDelta> {
+    let n = g.node_count() as u32;
+    let mut deltas = Vec::new();
+    for (i, (u, v)) in g.edges().enumerate() {
+        if i % 7 == 3 {
+            deltas.push(EdgeDelta::Remove(u, v));
+            deltas.push(EdgeDelta::Insert((u + 1) % n, (v + 2) % n));
+        }
+    }
+    deltas
 }
 
 /// Measures every `<algorithm>/<graph>` case. Counts are thread-invariant
@@ -87,6 +102,24 @@ fn measured_cases() -> Vec<(String, u64)> {
                 .1
                 .adds,
         ));
+        // Dynamic maintenance: warm resweep and index repair after the
+        // fixed edit script. The warm paths stop on a convergence check,
+        // so pinning their adds also pins the iteration/round counts.
+        let script = dynamic_script(&g);
+        out.push((format!("dynamic_resweep/{gname}"), {
+            let warm = naive::naive_simrank(&g, &opts);
+            let mut mg = g.clone();
+            mg.apply_batch(&script).expect("valid script");
+            dynamic::resweep_with_report(&mg, &warm, &opts).1.adds
+        }));
+        out.push((format!("dynamic_repair/{gname}"), {
+            let index = simrank::algo::index::SimRankIndex::build(&g, &opts);
+            index
+                .repair_with_report(&script, &opts)
+                .expect("valid script")
+                .1
+                .adds
+        }));
     }
     out
 }
